@@ -1,0 +1,68 @@
+"""Figure 6a: average delay as the number of workers grows.
+
+Paper result: the vanilla blockchain's delay grows with the worker count
+(every worker adds an on-chain transaction; once the volume crosses the block
+size, queueing kicks in), while FAIR-BFL and FedAvg stay nearly flat because
+each FAIR-BFL block carries only the round's single global gradient
+(Assumption 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.experiment import (
+    ExperimentSuite,
+    run_fairbfl,
+    run_fedavg,
+    run_vanilla_blockchain,
+)
+from repro.core.results import ComparisonResult
+from repro.fl.client import LocalTrainingConfig
+
+WORKER_COUNTS = (20, 60, 100, 140)
+
+
+def _sweep():
+    rows = []
+    for n in WORKER_COUNTS:
+        suite = ExperimentSuite(
+            num_clients=n,
+            num_samples=max(600, 30 * n),
+            num_rounds=6,
+            participation_fraction=0.1,
+            model_name="logreg",
+            local=LocalTrainingConfig(epochs=2, batch_size=10, learning_rate=0.05),
+            seed=0,
+        )
+        _, fair = run_fairbfl(suite.dataset(), config=suite.fairbfl_config())
+        _, fedavg = run_fedavg(suite.dataset(), config=suite.fedavg_config())
+        _, chain = run_vanilla_blockchain(config=suite.blockchain_config(num_workers=n))
+        rows.append((n, fair.average_delay(), chain.average_delay(), fedavg.average_delay()))
+    return rows
+
+
+def test_fig6a_delay_vs_workers(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = ComparisonResult(
+        title="Figure 6a -- average delay (s) vs number of workers",
+        columns=["workers", "FAIR", "Blockchain", "FedAvg"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.notes.append(
+        "paper: Blockchain grows with n (transaction volume / queueing); FAIR and FedAvg stay flat"
+    )
+    emit(table, "fig6a_workers.txt")
+
+    workers = np.array([r[0] for r in rows], dtype=float)
+    fair = np.array([r[1] for r in rows])
+    chain = np.array([r[2] for r in rows])
+    # Blockchain delay grows substantially from the smallest to the largest population.
+    assert chain[-1] > 1.5 * chain[0]
+    # FAIR-BFL's growth is far milder than the vanilla blockchain's.
+    assert (fair[-1] - fair[0]) < 0.5 * (chain[-1] - chain[0])
+    # At large scale the vanilla blockchain is the slowest system.
+    assert chain[-1] > fair[-1]

@@ -1,0 +1,69 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench module regenerates one table or figure of the paper at laptop
+scale: it runs the experiment, prints the rows/series the paper reports (and
+writes them to ``benchmarks/results/``), and registers a pytest-benchmark
+measurement for the core computation so the harness also tracks runtime.
+
+Scale note: the paper's full configuration (n=100 clients, 100 communication
+rounds, full MNIST) is hours of pure-Python compute; the benches run the same
+experiment *shapes* at a reduced scale (documented per bench and in
+EXPERIMENTS.md).  The qualitative conclusions -- orderings, crossovers, trends
+-- are what is being reproduced.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.experiment import ExperimentSuite  # noqa: E402
+from repro.core.results import ComparisonResult  # noqa: E402
+from repro.fl.client import LocalTrainingConfig  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit(table: ComparisonResult, filename: str) -> None:
+    """Print a reproduction table and persist it under benchmarks/results/."""
+    text = table.to_text()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def bench_suite() -> ExperimentSuite:
+    """The shared scaled-down experimental setup used by most benches."""
+    return ExperimentSuite(
+        num_clients=20,
+        num_samples=1500,
+        num_rounds=10,
+        participation_fraction=0.5,
+        scheme="dirichlet",
+        model_name="logreg",
+        local=LocalTrainingConfig(epochs=2, batch_size=10, learning_rate=0.05),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def quality_suite() -> ExperimentSuite:
+    """Setup with low-quality (label-noise) clients for the Fig. 7 benches."""
+    return ExperimentSuite(
+        num_clients=20,
+        num_samples=1500,
+        num_rounds=16,
+        participation_fraction=0.5,
+        scheme="dirichlet",
+        low_quality_fraction=0.3,
+        model_name="logreg",
+        local=LocalTrainingConfig(epochs=2, batch_size=10, learning_rate=0.05),
+        seed=0,
+    )

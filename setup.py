@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so the
+PEP 517 editable-install path (which builds a wheel) is unavailable.  Keeping
+this ``setup.py`` and omitting the ``[build-system]`` table from
+``pyproject.toml`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` route, which works with the stdlib-only toolchain.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

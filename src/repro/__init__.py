@@ -1,0 +1,53 @@
+"""FAIR-BFL reproduction library.
+
+A full, from-scratch Python implementation of "FAIR-BFL: Flexible and
+Incentive Redesign for Blockchain-based Federated Learning" (ICPP 2022),
+including every substrate the paper depends on: a NumPy neural-network
+framework, a synthetic MNIST-like dataset with federated partitioning, RSA
+signing, a proof-of-work blockchain, FedAvg/FedProx baselines, the
+clustering-based contribution/incentive mechanism, attack models, and the
+delay simulation behind the paper's latency figures.
+
+Quickstart
+----------
+>>> from repro.core import ExperimentSuite, run_fairbfl
+>>> suite = ExperimentSuite(num_clients=10, num_samples=600, num_rounds=3)
+>>> trainer, history = run_fairbfl(suite.dataset(), config=suite.fairbfl_config())
+>>> history.average_delay() > 0
+True
+"""
+
+from repro.core.config import FairBFLConfig
+from repro.core.experiment import (
+    ExperimentSuite,
+    build_federated_dataset,
+    run_fairbfl,
+    run_fedavg,
+    run_fedprox,
+    run_vanilla_blockchain,
+)
+from repro.core.fairbfl import FairBFLTrainer
+from repro.core.flexibility import OperatingMode
+from repro.fl.fedavg import FedAvgConfig, FedAvgTrainer
+from repro.fl.fedprox import FedProxConfig, FedProxTrainer
+from repro.fl.history import TrainingHistory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FairBFLConfig",
+    "FairBFLTrainer",
+    "OperatingMode",
+    "ExperimentSuite",
+    "build_federated_dataset",
+    "run_fairbfl",
+    "run_fedavg",
+    "run_fedprox",
+    "run_vanilla_blockchain",
+    "FedAvgConfig",
+    "FedAvgTrainer",
+    "FedProxConfig",
+    "FedProxTrainer",
+    "TrainingHistory",
+    "__version__",
+]

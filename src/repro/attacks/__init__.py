@@ -1,0 +1,39 @@
+"""Attack models.
+
+Section 5.4 of the paper evaluates security by designating 1-3 random clients
+per round as malicious nodes that "modify the actual local gradients to skew
+the global model".  This package provides:
+
+* :mod:`repro.attacks.gradient_attacks` — concrete gradient-forging attacks
+  (sign flipping, scaling, additive Gaussian noise, zeroing);
+* :mod:`repro.attacks.label_flip` — data poisoning through label flipping
+  (the attack happens *before* training, so the forged gradient is a real
+  gradient of poisoned data);
+* :mod:`repro.attacks.scheduler` — per-round random attacker designation
+  reproducing Table 2's protocol, plus detection-rate accounting.
+"""
+
+from repro.attacks.base import Attack, NoAttack
+from repro.attacks.gradient_attacks import (
+    GaussianNoiseAttack,
+    ScalingAttack,
+    SignFlipAttack,
+    ZeroGradientAttack,
+    make_attack,
+)
+from repro.attacks.label_flip import LabelFlipAttack
+from repro.attacks.scheduler import AttackRoundLog, AttackScheduler, detection_rate
+
+__all__ = [
+    "Attack",
+    "NoAttack",
+    "GaussianNoiseAttack",
+    "ScalingAttack",
+    "SignFlipAttack",
+    "ZeroGradientAttack",
+    "make_attack",
+    "LabelFlipAttack",
+    "AttackRoundLog",
+    "AttackScheduler",
+    "detection_rate",
+]

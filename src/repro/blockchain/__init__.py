@@ -1,0 +1,56 @@
+"""Blockchain substrate.
+
+Implements the distributed-ledger machinery FAIR-BFL runs on top of:
+
+* :mod:`repro.blockchain.transaction` — signed transactions (gradient uploads,
+  reward payouts, global-update records);
+* :mod:`repro.blockchain.merkle` — Merkle trees over transaction IDs;
+* :mod:`repro.blockchain.block` — block headers/bodies with SHA-256 linking;
+* :mod:`repro.blockchain.pow` — proof-of-work nonce search (paper Eq. 4) plus
+  the stochastic mining-time model used at simulation scale;
+* :mod:`repro.blockchain.mempool` — block-size-limited transaction queue (the
+  source of vanilla BFL's queueing delay, Fig. 6a);
+* :mod:`repro.blockchain.chain` — append/validate/fork-tracking ledger;
+* :mod:`repro.blockchain.miner` — miner nodes combining the above;
+* :mod:`repro.blockchain.network` — broadcast network with latency;
+* :mod:`repro.blockchain.consensus` — longest-chain consensus and the
+  fork-probability model that drives Fig. 6b.
+"""
+
+from repro.blockchain.block import Block, BlockHeader, GENESIS_PREVIOUS_HASH
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.consensus import ForkModel, LongestChainConsensus
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.merkle import merkle_root
+from repro.blockchain.miner import Miner
+from repro.blockchain.network import BroadcastNetwork, NetworkMessage
+from repro.blockchain.pow import MiningResult, mine_block, sample_mining_time
+from repro.blockchain.transaction import (
+    Transaction,
+    TransactionType,
+    make_global_update_transaction,
+    make_gradient_transaction,
+    make_reward_transaction,
+)
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "GENESIS_PREVIOUS_HASH",
+    "Blockchain",
+    "ForkModel",
+    "LongestChainConsensus",
+    "Mempool",
+    "merkle_root",
+    "Miner",
+    "BroadcastNetwork",
+    "NetworkMessage",
+    "MiningResult",
+    "mine_block",
+    "sample_mining_time",
+    "Transaction",
+    "TransactionType",
+    "make_global_update_transaction",
+    "make_gradient_transaction",
+    "make_reward_transaction",
+]

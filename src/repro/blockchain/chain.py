@@ -1,0 +1,171 @@
+"""The ledger: an append-only, validated chain of blocks.
+
+Under Assumption 1 + 2, FAIR-BFL produces exactly one block per communication
+round and never forks, so every miner's :class:`Blockchain` copy stays
+identical.  The class still implements full validation (hash links, Merkle
+roots, PoW targets, monotonically increasing rounds) so that tampering is
+detectable, and fork bookkeeping so the vanilla-blockchain baseline can reuse
+the same type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blockchain.block import Block, GENESIS_PREVIOUS_HASH
+from repro.crypto.hashing import difficulty_to_target, meets_target
+
+__all__ = ["Blockchain", "BlockValidationError"]
+
+
+class BlockValidationError(ValueError):
+    """Raised when an appended block fails validation."""
+
+
+@dataclass
+class Blockchain:
+    """A validated list of blocks starting from a genesis block.
+
+    Parameters
+    ----------
+    enforce_pow:
+        When True, appended non-genesis blocks must satisfy their stated
+        difficulty target.  FAIR-BFL simulations that use the stochastic
+        timing model (rather than actually grinding nonces) set this to False.
+    """
+
+    enforce_pow: bool = True
+    blocks: list[Block] = field(default_factory=list)
+    fork_events: int = 0
+
+    def __post_init__(self) -> None:
+        if self.blocks:
+            self._validate_full_chain(self.blocks)
+
+    # -- basic accessors ----------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Number of blocks in the chain."""
+        return len(self.blocks)
+
+    @property
+    def last_block(self) -> Block:
+        """The chain tip.
+
+        Raises
+        ------
+        IndexError
+            If the chain is empty (no genesis yet).
+        """
+        if not self.blocks:
+            raise IndexError("blockchain is empty; add a genesis block first")
+        return self.blocks[-1]
+
+    def block_at(self, index: int) -> Block:
+        """Block at height ``index``."""
+        return self.blocks[index]
+
+    def block_for_round(self, round_index: int) -> Block | None:
+        """Return the block finalising communication round ``round_index``, if any."""
+        for block in reversed(self.blocks):
+            if block.round_index == round_index:
+                return block
+        return None
+
+    def latest_global_update(self) -> np.ndarray | None:
+        """The most recent global gradient recorded on-chain (Procedure I reads this)."""
+        for block in reversed(self.blocks):
+            update = block.global_update()
+            if update is not None:
+                return update
+        return None
+
+    def total_rewards_by_client(self) -> dict[str, float]:
+        """Accumulated reward per client across all blocks."""
+        totals: dict[str, float] = {}
+        for block in self.blocks:
+            for record in block.reward_records():
+                client = str(record.get("client"))
+                totals[client] = totals.get(client, 0.0) + float(record.get("reward", 0.0))
+        return totals
+
+    # -- validation / mutation ----------------------------------------------
+    def add_genesis(self, block: Block) -> Block:
+        """Install the genesis block (index 0, null previous hash)."""
+        if self.blocks:
+            raise BlockValidationError("genesis block already present")
+        if block.index != 0 or block.header.previous_hash != GENESIS_PREVIOUS_HASH:
+            raise BlockValidationError("invalid genesis block (index/previous hash)")
+        if not block.validate_merkle_root():
+            raise BlockValidationError("genesis block has an inconsistent Merkle root")
+        self.blocks.append(block)
+        return block
+
+    def add_block(self, block: Block) -> Block:
+        """Validate and append ``block`` to the tip."""
+        error = self.validate_candidate(block)
+        if error is not None:
+            raise BlockValidationError(error)
+        self.blocks.append(block)
+        return block
+
+    def validate_candidate(self, block: Block) -> str | None:
+        """Return None if ``block`` may extend the tip, else a description of the problem."""
+        if not self.blocks:
+            return "chain has no genesis block"
+        tip = self.last_block
+        if block.index != tip.index + 1:
+            return f"expected block index {tip.index + 1}, got {block.index}"
+        if block.header.previous_hash != tip.block_hash:
+            return "previous-hash link does not match the chain tip"
+        if not block.validate_merkle_root():
+            return "Merkle root does not match the block body"
+        if self.enforce_pow:
+            target = difficulty_to_target(block.header.difficulty)
+            if not meets_target(block.block_hash, target):
+                return "block hash does not satisfy its difficulty target"
+        return None
+
+    def is_valid(self) -> bool:
+        """Re-validate the whole chain (used after deserialisation or tampering tests)."""
+        try:
+            self._validate_full_chain(self.blocks)
+        except BlockValidationError:
+            return False
+        return True
+
+    def _validate_full_chain(self, blocks: list[Block]) -> None:
+        if not blocks:
+            return
+        first = blocks[0]
+        if first.index != 0 or first.header.previous_hash != GENESIS_PREVIOUS_HASH:
+            raise BlockValidationError("invalid genesis block")
+        if not first.validate_merkle_root():
+            raise BlockValidationError("genesis Merkle root mismatch")
+        for parent, child in zip(blocks, blocks[1:]):
+            if child.index != parent.index + 1:
+                raise BlockValidationError(f"non-contiguous block index at height {child.index}")
+            if child.header.previous_hash != parent.block_hash:
+                raise BlockValidationError(f"broken hash link at height {child.index}")
+            if not child.validate_merkle_root():
+                raise BlockValidationError(f"Merkle root mismatch at height {child.index}")
+            if self.enforce_pow:
+                target = difficulty_to_target(child.header.difficulty)
+                if not meets_target(child.block_hash, target):
+                    raise BlockValidationError(f"insufficient proof of work at height {child.index}")
+
+    def record_fork(self) -> None:
+        """Count a fork event (vanilla-blockchain baseline bookkeeping)."""
+        self.fork_events += 1
+
+    def copy(self) -> "Blockchain":
+        """Shallow copy sharing block objects (miners' replicated ledgers)."""
+        clone = Blockchain(enforce_pow=self.enforce_pow)
+        clone.blocks = list(self.blocks)
+        clone.fork_events = self.fork_events
+        return clone
+
+    def __len__(self) -> int:
+        return len(self.blocks)

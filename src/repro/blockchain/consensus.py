@@ -1,0 +1,119 @@
+"""Consensus: longest-chain rule and the fork-cost model.
+
+FAIR-BFL avoids forks entirely (Assumptions 1 + 2 mean one block per round and
+all miners stop as soon as a valid block arrives), so its consensus step is a
+simple validate-and-append.  The vanilla-blockchain baseline, however, pays a
+fork-resolution cost that grows with the number of miners — the paper observes
+an "approximately exponential" delay growth in Figure 6b.  :class:`ForkModel`
+captures that effect: the probability that two miners solve within one
+propagation window of each other grows with the miner count, and each fork
+costs extra merge time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.utils.validation import check_non_negative, check_probability
+
+__all__ = ["LongestChainConsensus", "ForkModel"]
+
+
+class LongestChainConsensus:
+    """Validate-and-append consensus over replicated :class:`Blockchain` copies.
+
+    All miner ledgers are kept in lock-step: :meth:`commit` validates the
+    candidate block against each replica and appends it everywhere, raising if
+    any replica disagrees (which would indicate a bug in the simulation since
+    Assumption 1 synchronises all miners).
+    """
+
+    def __init__(self, replicas: dict[str, Blockchain]) -> None:
+        if not replicas:
+            raise ValueError("consensus requires at least one ledger replica")
+        self.replicas = dict(replicas)
+
+    def commit(self, block: Block) -> None:
+        """Append ``block`` to every replica after validating against each."""
+        errors = {
+            miner_id: err
+            for miner_id, chain in self.replicas.items()
+            if (err := chain.validate_candidate(block)) is not None
+        }
+        if errors:
+            detail = "; ".join(f"{mid}: {msg}" for mid, msg in errors.items())
+            raise ValueError(f"block rejected by replicas: {detail}")
+        for chain in self.replicas.values():
+            chain.add_block(block)
+
+    def heights(self) -> dict[str, int]:
+        """Chain height per replica."""
+        return {mid: chain.height for mid, chain in self.replicas.items()}
+
+    def in_sync(self) -> bool:
+        """True when all replicas have identical tip hashes."""
+        tips = {chain.last_block.block_hash for chain in self.replicas.values()}
+        return len(tips) == 1
+
+
+@dataclass
+class ForkModel:
+    """Stochastic fork-occurrence and fork-cost model for PoW blockchains.
+
+    Parameters
+    ----------
+    propagation_window:
+        Seconds within which two competing solutions cause a fork.
+    base_fork_probability:
+        Per-pair probability that a second miner solves inside the window
+        (calibrated constant; the pairwise structure makes the overall fork
+        probability grow super-linearly in the miner count).
+    merge_cost:
+        Seconds of extra delay incurred to resolve one fork (orphaned work,
+        re-broadcast, chain reorganisation).
+    """
+
+    propagation_window: float = 0.5
+    base_fork_probability: float = 0.05
+    merge_cost: float = 2.0
+
+    def __post_init__(self) -> None:
+        self.propagation_window = check_non_negative("propagation_window", self.propagation_window)
+        self.base_fork_probability = check_probability(
+            "base_fork_probability", self.base_fork_probability
+        )
+        self.merge_cost = check_non_negative("merge_cost", self.merge_cost)
+
+    def fork_probability(self, num_miners: int) -> float:
+        """Probability that at least one fork occurs in a mining competition.
+
+        With ``m`` miners there are ``m - 1`` runners-up that can collide with
+        the winner; each collides independently with probability
+        ``base_fork_probability``, giving
+        ``1 - (1 - p)**(m - 1)`` — convex and increasing in ``m``, matching the
+        paper's observation that more miners sharply increase forking.
+        """
+        if num_miners <= 1:
+            return 0.0
+        return 1.0 - (1.0 - self.base_fork_probability) ** (num_miners - 1)
+
+    def sample_fork_delay(self, rng: np.random.Generator, num_miners: int) -> tuple[int, float]:
+        """Sample ``(fork_count, extra_delay_seconds)`` for one mining competition.
+
+        Every runner-up independently collides with the winner with probability
+        ``base_fork_probability``; each collision costs one merge.  The returned
+        delay additionally grows mildly with the number of simultaneous forks
+        (merging k competing branches requires serialised reorganisations).
+        """
+        if num_miners <= 1:
+            return 0, 0.0
+        collisions = int(rng.binomial(num_miners - 1, self.base_fork_probability))
+        if collisions == 0:
+            return 0, 0.0
+        # Each extra simultaneous branch compounds the merge effort slightly.
+        delay = float(self.merge_cost * collisions * (1.0 + 0.25 * (collisions - 1)))
+        return collisions, delay

@@ -1,0 +1,122 @@
+"""Block-size-limited transaction queue.
+
+Vanilla BFL records *every* local gradient on-chain; when the per-round
+transaction volume exceeds the block size, transactions queue across blocks
+and the round cannot complete until every gradient is recorded (paper
+Section 3.1 and the queueing knee of Figure 6a).  The :class:`Mempool`
+implements that mechanism: it accepts transactions, and :meth:`take_block`
+pops as many as fit under the size limit in FIFO order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.blockchain.transaction import Transaction
+
+__all__ = ["Mempool"]
+
+
+class Mempool:
+    """FIFO transaction pool with a per-block byte budget.
+
+    Parameters
+    ----------
+    block_size_bytes:
+        Maximum total ``payload_size_bytes`` a single block may carry.
+    """
+
+    def __init__(self, block_size_bytes: int) -> None:
+        if block_size_bytes <= 0:
+            raise ValueError(f"block_size_bytes must be positive, got {block_size_bytes}")
+        self.block_size_bytes = int(block_size_bytes)
+        self._queue: deque[Transaction] = deque()
+        self._seen_ids: set[str] = set()
+
+    def submit(self, tx: Transaction) -> bool:
+        """Add a transaction to the pool; duplicates (same tx_id) are ignored.
+
+        Returns ``True`` when the transaction was newly enqueued.
+        """
+        tx_id = tx.tx_id
+        if tx_id in self._seen_ids:
+            return False
+        self._seen_ids.add(tx_id)
+        self._queue.append(tx)
+        return True
+
+    def submit_many(self, txs: list[Transaction]) -> int:
+        """Submit a batch of transactions; returns how many were newly enqueued."""
+        return sum(1 for tx in txs if self.submit(tx))
+
+    def take_block(self) -> list[Transaction]:
+        """Pop the FIFO prefix of transactions that fits in one block.
+
+        At least one transaction is always returned when the pool is non-empty,
+        even if that single transaction exceeds the block size (a real chain
+        would reject it; for the simulation an oversized gradient simply
+        occupies a block by itself, which matches the paper's discussion of
+        large gradients missing the current block).
+        """
+        taken: list[Transaction] = []
+        used = 0
+        while self._queue:
+            nxt = self._queue[0]
+            if taken and used + nxt.payload_size_bytes > self.block_size_bytes:
+                break
+            taken.append(self._queue.popleft())
+            used += nxt.payload_size_bytes
+            if used >= self.block_size_bytes:
+                break
+        for tx in taken:
+            self._seen_ids.discard(tx.tx_id)
+        return taken
+
+    def blocks_required(self, txs: list[Transaction] | None = None) -> int:
+        """How many blocks are needed to drain ``txs`` (or the current pool).
+
+        This is the quantity that determines vanilla BFL's per-round block
+        count: a round only completes once *all* gradient transactions are
+        on-chain (Section 3.1), so the round delay scales with this number.
+        """
+        if txs is None:
+            sizes = [tx.payload_size_bytes for tx in self._queue]
+        else:
+            sizes = [tx.payload_size_bytes for tx in txs]
+        if not sizes:
+            return 0
+        blocks = 0
+        used = 0
+        filled_any = False
+        for size in sizes:
+            if filled_any and used + size > self.block_size_bytes:
+                blocks += 1
+                used = 0
+                filled_any = False
+            used += size
+            filled_any = True
+            if used >= self.block_size_bytes:
+                blocks += 1
+                used = 0
+                filled_any = False
+        if filled_any:
+            blocks += 1
+        return blocks
+
+    @property
+    def pending_count(self) -> int:
+        """Number of queued transactions."""
+        return len(self._queue)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Total payload bytes currently queued."""
+        return sum(tx.payload_size_bytes for tx in self._queue)
+
+    def clear(self) -> None:
+        """Drop every queued transaction."""
+        self._queue.clear()
+        self._seen_ids.clear()
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,161 @@
+"""Miner nodes.
+
+A FAIR-BFL miner plays a dual role (paper Section 4.2): it is both a
+blockchain bookkeeper (collects transactions, competes in proof of work,
+validates blocks) and a stand-in for the FL server (aggregates the gradient
+set, runs the incentive mechanism).  The :class:`Miner` class implements the
+bookkeeping half; the aggregation/incentive logic is injected by the
+orchestrator in :mod:`repro.core` so the same miner type serves both FAIR-BFL
+and the vanilla baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.pow import mine_block
+from repro.blockchain.transaction import Transaction, TransactionType
+from repro.crypto.keystore import KeyStore
+
+__all__ = ["Miner"]
+
+
+@dataclass
+class Miner:
+    """A miner with its ledger replica and per-round gradient set.
+
+    Attributes
+    ----------
+    miner_id:
+        Unique identifier (also its key-store entity ID).
+    chain:
+        This miner's ledger replica.
+    keystore:
+        Shared key registry used to verify incoming transaction signatures.
+    verify_signatures:
+        When True (default), gradient uploads with missing/invalid signatures
+        are rejected, as in paper Figure 2.
+    """
+
+    miner_id: str
+    chain: Blockchain
+    keystore: KeyStore | None = None
+    verify_signatures: bool = True
+    gradient_set: dict[str, Transaction] = field(default_factory=dict)
+    rejected_transactions: int = 0
+
+    def reset_round(self) -> None:
+        """Clear the per-round gradient set (called at the start of each round)."""
+        self.gradient_set.clear()
+
+    # -- Procedure II: receive uploads from associated clients ---------------
+    def receive_upload(self, tx: Transaction) -> bool:
+        """Accept a client's gradient-upload transaction into the local set.
+
+        Returns True when the transaction is accepted (valid signature and not
+        a duplicate); rejected transactions are counted.
+        """
+        if tx.tx_type is not TransactionType.GRADIENT_UPLOAD:
+            self.rejected_transactions += 1
+            return False
+        if self.verify_signatures:
+            if self.keystore is None or not tx.verify(self.keystore):
+                self.rejected_transactions += 1
+                return False
+        if tx.tx_id in self.gradient_set:
+            return False
+        self.gradient_set[tx.tx_id] = tx
+        return True
+
+    # -- Procedure III: exchange gradient sets with other miners -------------
+    def merge_gradient_set(self, other_set: dict[str, Transaction]) -> int:
+        """Append transactions from another miner's set that are not already present.
+
+        Mirrors Algorithm 1 lines 20-22: check whether each received
+        transaction exists in the current set and append it if not.  Signature
+        verification is repeated here because "miners will also use the RSA
+        encryption algorithm to validate the transactions from other miners"
+        (Section 4.3).  Returns the number of newly added transactions.
+        """
+        added = 0
+        for tx_id, tx in other_set.items():
+            if tx_id in self.gradient_set:
+                continue
+            if self.verify_signatures:
+                if self.keystore is None or not tx.verify(self.keystore):
+                    self.rejected_transactions += 1
+                    continue
+            self.gradient_set[tx_id] = tx
+            added += 1
+        return added
+
+    def gradient_vectors(self) -> tuple[list[str], np.ndarray]:
+        """Return (sender IDs, stacked gradient matrix) for the current set.
+
+        The row order is sorted by sender ID so every miner derives the same
+        matrix from the same set (needed for identical global updates across
+        miners under Assumption 1).
+        """
+        txs = sorted(self.gradient_set.values(), key=lambda t: t.sender)
+        senders = [tx.sender for tx in txs]
+        if not txs:
+            return senders, np.zeros((0, 0), dtype=np.float64)
+        matrix = np.stack([np.asarray(tx.payload, dtype=np.float64) for tx in txs], axis=0)
+        return senders, matrix
+
+    # -- Procedure V: block creation ------------------------------------------
+    def build_block(
+        self,
+        round_index: int,
+        transactions: list[Transaction],
+        *,
+        timestamp: float = 0.0,
+        difficulty: float = 1.0,
+    ) -> Block:
+        """Assemble the next block on top of this miner's chain tip."""
+        tip = self.chain.last_block
+        return Block.create(
+            index=tip.index + 1,
+            previous_hash=tip.block_hash,
+            round_index=round_index,
+            miner_id=self.miner_id,
+            transactions=transactions,
+            timestamp=timestamp,
+            difficulty=difficulty,
+        )
+
+    def mine(self, block: Block, *, difficulty: float = 1.0, max_attempts: int = 1_000_000) -> Block:
+        """Run the actual PoW nonce search on ``block`` and return it mined.
+
+        Raises
+        ------
+        RuntimeError
+            If no satisfying nonce is found within ``max_attempts`` (only
+            possible if the difficulty is set unrealistically high for the
+            attempt budget).
+        """
+        result = mine_block(block, difficulty=difficulty, max_attempts=max_attempts)
+        if not result.success:
+            raise RuntimeError(
+                f"miner {self.miner_id} failed to find a nonce at difficulty "
+                f"{difficulty} within {max_attempts} attempts"
+            )
+        return block
+
+    def accept_block(self, block: Block) -> None:
+        """Validate a received block and append it to the local replica.
+
+        Mirrors Algorithm 1 lines 34-38: on receiving a block, verify the proof
+        of work / links, stop local mining (implicit in the synchronous
+        simulation), and append.
+        """
+        self.chain.add_block(block)
+
+    @property
+    def gradient_count(self) -> int:
+        """Number of distinct gradient uploads currently held."""
+        return len(self.gradient_set)

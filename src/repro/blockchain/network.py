@@ -1,0 +1,121 @@
+"""Broadcast network with latency.
+
+Miners broadcast gradient sets (Procedure III) and newly mined blocks
+(Procedure V) to each other, and clients upload gradients to their associated
+miner (Procedure II).  The :class:`BroadcastNetwork` models those message
+exchanges with per-link latencies drawn from a configurable distribution; the
+topology is a complete graph over miners (built with :mod:`networkx` so
+alternative topologies can be swapped in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.validation import check_non_negative
+
+__all__ = ["NetworkMessage", "BroadcastNetwork"]
+
+
+@dataclass(frozen=True)
+class NetworkMessage:
+    """A delivered message with its simulated latency."""
+
+    sender: str
+    receiver: str
+    payload: object
+    latency: float
+
+
+@dataclass
+class BroadcastNetwork:
+    """Complete-graph broadcast network over a set of node IDs.
+
+    Parameters
+    ----------
+    node_ids:
+        Participating node identifiers (miners and/or clients).
+    rng:
+        Generator for latency sampling.
+    base_latency:
+        Mean one-way latency in seconds between any two distinct nodes.
+    jitter:
+        Standard deviation of the log-normal multiplicative jitter applied to
+        each delivery (0 disables jitter).
+    """
+
+    node_ids: list[str]
+    rng: np.random.Generator
+    base_latency: float = 0.05
+    jitter: float = 0.25
+    graph: nx.Graph = field(init=False, repr=False)
+    delivered: list[NetworkMessage] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.node_ids:
+            raise ValueError("BroadcastNetwork requires at least one node")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ValueError("node_ids must be unique")
+        self.base_latency = check_non_negative("base_latency", self.base_latency)
+        self.jitter = check_non_negative("jitter", self.jitter)
+        self.graph = nx.complete_graph(self.node_ids)
+
+    def _sample_latency(self) -> float:
+        if self.base_latency == 0.0:
+            return 0.0
+        if self.jitter == 0.0:
+            return self.base_latency
+        return float(self.base_latency * self.rng.lognormal(mean=0.0, sigma=self.jitter))
+
+    def send(self, sender: str, receiver: str, payload: object) -> NetworkMessage:
+        """Deliver one point-to-point message and return it with its latency."""
+        self._check_node(sender)
+        self._check_node(receiver)
+        latency = 0.0 if sender == receiver else self._sample_latency()
+        msg = NetworkMessage(sender=sender, receiver=receiver, payload=payload, latency=latency)
+        self.delivered.append(msg)
+        return msg
+
+    def broadcast(self, sender: str, payload: object) -> list[NetworkMessage]:
+        """Deliver ``payload`` from ``sender`` to every other node.
+
+        Returns the per-receiver messages; the broadcast completes when the
+        slowest delivery arrives, so callers typically use
+        ``max(m.latency for m in messages)`` as the broadcast latency.
+        """
+        self._check_node(sender)
+        messages = [
+            self.send(sender, receiver, payload)
+            for receiver in self.node_ids
+            if receiver != sender
+        ]
+        return messages
+
+    def broadcast_latency(self, messages: list[NetworkMessage]) -> float:
+        """Completion latency of a broadcast (max over deliveries, 0 for none)."""
+        return max((m.latency for m in messages), default=0.0)
+
+    def all_pairs_exchange(self, payload_by_sender: dict[str, object]) -> float:
+        """Every sender broadcasts its payload; return the overall completion latency.
+
+        This models Procedure III (gradient-set exchange among miners): the
+        procedure finishes when the slowest delivery of the slowest broadcast
+        lands, and all broadcasts run in parallel.
+        """
+        worst = 0.0
+        for sender, payload in payload_by_sender.items():
+            msgs = self.broadcast(sender, payload)
+            worst = max(worst, self.broadcast_latency(msgs))
+        return worst
+
+    def _check_node(self, node_id: str) -> None:
+        if node_id not in self.graph:
+            raise KeyError(f"unknown network node {node_id!r}")
+
+    @property
+    def message_count(self) -> int:
+        """Total messages delivered so far."""
+        return len(self.delivered)

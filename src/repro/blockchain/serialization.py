@@ -1,0 +1,154 @@
+"""Ledger serialisation.
+
+Converts blocks and whole chains to/from JSON-compatible dictionaries so a
+simulation's ledger can be persisted, inspected, or audited offline.  Gradient
+payloads are stored as plain lists (the block already commits to them through
+the payload digest, and deserialisation re-verifies both the digests and the
+chain links).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.blockchain.block import Block, BlockHeader
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.transaction import Transaction, TransactionType
+
+__all__ = [
+    "transaction_to_dict",
+    "transaction_from_dict",
+    "block_to_dict",
+    "block_from_dict",
+    "chain_to_dict",
+    "chain_from_dict",
+    "save_chain",
+    "load_chain",
+]
+
+
+def transaction_to_dict(tx: Transaction) -> dict:
+    """JSON-compatible representation of a transaction."""
+    payload = tx.payload
+    if isinstance(payload, np.ndarray):
+        payload = {"__ndarray__": payload.tolist()}
+    return {
+        "tx_type": tx.tx_type.value,
+        "sender": tx.sender,
+        "round_index": tx.round_index,
+        "payload_digest": tx.payload_digest,
+        "payload_size_bytes": tx.payload_size_bytes,
+        "metadata": dict(tx.metadata),
+        "payload": payload,
+        "signature": None if tx.signature is None else str(tx.signature),
+    }
+
+
+def transaction_from_dict(data: dict) -> Transaction:
+    """Rebuild a transaction from :func:`transaction_to_dict` output."""
+    payload = data.get("payload")
+    if isinstance(payload, dict) and "__ndarray__" in payload:
+        payload = np.asarray(payload["__ndarray__"], dtype=np.float64)
+    signature = data.get("signature")
+    return Transaction(
+        tx_type=TransactionType(data["tx_type"]),
+        sender=data["sender"],
+        round_index=int(data["round_index"]),
+        payload_digest=data["payload_digest"],
+        payload_size_bytes=int(data["payload_size_bytes"]),
+        metadata=dict(data.get("metadata", {})),
+        payload=payload,
+        signature=None if signature is None else int(signature),
+    )
+
+
+def block_to_dict(block: Block) -> dict:
+    """JSON-compatible representation of a block (header + transactions)."""
+    h = block.header
+    return {
+        "header": {
+            "index": h.index,
+            "previous_hash": h.previous_hash,
+            "merkle_root": h.merkle_root,
+            "round_index": h.round_index,
+            "miner_id": h.miner_id,
+            "nonce": h.nonce,
+            "timestamp": h.timestamp,
+            "difficulty": h.difficulty,
+        },
+        "transactions": [transaction_to_dict(tx) for tx in block.transactions],
+        "block_hash": block.block_hash,
+    }
+
+
+def block_from_dict(data: dict) -> Block:
+    """Rebuild a block from :func:`block_to_dict` output.
+
+    Raises
+    ------
+    ValueError
+        If the stored hash or Merkle root no longer matches the content
+        (i.e. the serialised form was tampered with).
+    """
+    h = data["header"]
+    header = BlockHeader(
+        index=int(h["index"]),
+        previous_hash=h["previous_hash"],
+        merkle_root=h["merkle_root"],
+        round_index=int(h["round_index"]),
+        miner_id=h["miner_id"],
+        nonce=int(h["nonce"]),
+        timestamp=float(h["timestamp"]),
+        difficulty=float(h["difficulty"]),
+    )
+    block = Block(
+        header=header,
+        transactions=[transaction_from_dict(t) for t in data["transactions"]],
+    )
+    if not block.validate_merkle_root():
+        raise ValueError(
+            f"block {header.index} fails Merkle validation after deserialisation"
+        )
+    stored_hash = data.get("block_hash")
+    if stored_hash is not None and stored_hash != block.block_hash:
+        raise ValueError(
+            f"block {header.index} hash mismatch after deserialisation "
+            f"(stored {stored_hash[:12]}…, recomputed {block.block_hash[:12]}…)"
+        )
+    return block
+
+
+def chain_to_dict(chain: Blockchain) -> dict:
+    """JSON-compatible representation of a full ledger."""
+    return {
+        "enforce_pow": chain.enforce_pow,
+        "fork_events": chain.fork_events,
+        "blocks": [block_to_dict(b) for b in chain.blocks],
+    }
+
+
+def chain_from_dict(data: dict) -> Blockchain:
+    """Rebuild (and fully re-validate) a ledger from :func:`chain_to_dict` output."""
+    chain = Blockchain(enforce_pow=bool(data.get("enforce_pow", True)))
+    blocks = [block_from_dict(b) for b in data.get("blocks", [])]
+    if blocks:
+        chain.add_genesis(blocks[0])
+        for block in blocks[1:]:
+            chain.add_block(block)
+    chain.fork_events = int(data.get("fork_events", 0))
+    return chain
+
+
+def save_chain(chain: Blockchain, path: str | Path) -> Path:
+    """Write a ledger to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chain_to_dict(chain)), encoding="utf-8")
+    return path
+
+
+def load_chain(path: str | Path) -> Blockchain:
+    """Load and re-validate a ledger previously written by :func:`save_chain`."""
+    return chain_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

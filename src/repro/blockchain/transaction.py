@@ -1,0 +1,196 @@
+"""Transactions.
+
+Three transaction kinds appear in FAIR-BFL:
+
+* ``GRADIENT_UPLOAD`` — a client's local gradient ``w^i_{r+1}`` sent to its
+  associated miner (vanilla BFL records these on-chain; FAIR-BFL keeps them
+  off-chain by Assumption 2 and only the miners see them);
+* ``GLOBAL_UPDATE`` — the aggregated global gradient ``w_{r+1}`` recorded in
+  the block for round ``r+1``;
+* ``REWARD`` — one ⟨client, reward⟩ entry of the reward list produced by
+  Algorithm 2, appended to the block as a transaction.
+
+Every transaction carries the sender ID, a payload digest, an optional
+payload size (bytes) used by the block-size/queueing model, and an RSA
+signature over the canonical serialisation (paper Figure 2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.crypto.keystore import KeyStore
+
+__all__ = [
+    "TransactionType",
+    "Transaction",
+    "make_gradient_transaction",
+    "make_reward_transaction",
+    "make_global_update_transaction",
+]
+
+#: Bytes per float64 element; used to estimate gradient-transaction sizes.
+_BYTES_PER_ELEMENT = 8
+
+
+class TransactionType(str, Enum):
+    """The kinds of transactions circulating in the BFL network."""
+
+    GRADIENT_UPLOAD = "gradient_upload"
+    GLOBAL_UPDATE = "global_update"
+    REWARD = "reward"
+
+
+@dataclass
+class Transaction:
+    """A signed ledger transaction.
+
+    Attributes
+    ----------
+    tx_type:
+        One of :class:`TransactionType`.
+    sender:
+        The entity ID that created (and signed) the transaction.
+    round_index:
+        The communication round the transaction belongs to.
+    payload_digest:
+        SHA-256 hex digest of the payload (the gradient bytes or the reward
+        record); the ledger stores digests, and the full payload travels with
+        the transaction object inside the simulation.
+    payload_size_bytes:
+        Estimated wire size; feeds the block-size and queueing model.
+    metadata:
+        Free-form extra fields (e.g. reward amount, contribution label).
+    payload:
+        In-simulation payload (a gradient vector or a dict); excluded from the
+        signed canonical form, which covers only the digest.
+    signature:
+        RSA signature over :meth:`signing_bytes`.
+    """
+
+    tx_type: TransactionType
+    sender: str
+    round_index: int
+    payload_digest: str
+    payload_size_bytes: int
+    metadata: dict = field(default_factory=dict)
+    payload: object | None = None
+    signature: int | None = None
+
+    @property
+    def tx_id(self) -> str:
+        """Deterministic transaction identifier (hash of the canonical form)."""
+        return hashlib.sha256(self.signing_bytes()).hexdigest()
+
+    def signing_bytes(self) -> bytes:
+        """Canonical byte string covered by the signature."""
+        canonical = json.dumps(
+            {
+                "type": self.tx_type.value,
+                "sender": self.sender,
+                "round": int(self.round_index),
+                "digest": self.payload_digest,
+                "size": int(self.payload_size_bytes),
+                "metadata": {k: repr(v) for k, v in sorted(self.metadata.items())},
+            },
+            sort_keys=True,
+        )
+        return canonical.encode("utf-8")
+
+    def sign(self, keystore: KeyStore) -> "Transaction":
+        """Sign in place with the sender's private key and return ``self``."""
+        self.signature = keystore.sign(self.sender, self.signing_bytes())
+        return self
+
+    def verify(self, keystore: KeyStore) -> bool:
+        """Verify the signature against the sender's registered public key."""
+        if self.signature is None:
+            return False
+        return keystore.verify(self.sender, self.signing_bytes(), self.signature)
+
+
+def _digest_vector(vector: np.ndarray) -> str:
+    """SHA-256 digest of a float64 vector's raw bytes."""
+    arr = np.ascontiguousarray(np.asarray(vector, dtype=np.float64))
+    return hashlib.sha256(arr.tobytes()).hexdigest()
+
+
+def make_gradient_transaction(
+    sender: str,
+    round_index: int,
+    gradient: np.ndarray,
+    *,
+    keystore: KeyStore | None = None,
+    client_index: int | None = None,
+) -> Transaction:
+    """Build (and optionally sign) a gradient-upload transaction."""
+    gradient = np.asarray(gradient, dtype=np.float64)
+    tx = Transaction(
+        tx_type=TransactionType.GRADIENT_UPLOAD,
+        sender=sender,
+        round_index=int(round_index),
+        payload_digest=_digest_vector(gradient),
+        payload_size_bytes=int(gradient.size) * _BYTES_PER_ELEMENT,
+        metadata={} if client_index is None else {"client_index": int(client_index)},
+        payload=gradient,
+    )
+    if keystore is not None:
+        tx.sign(keystore)
+    return tx
+
+
+def make_global_update_transaction(
+    sender: str,
+    round_index: int,
+    global_gradient: np.ndarray,
+    *,
+    keystore: KeyStore | None = None,
+) -> Transaction:
+    """Build (and optionally sign) the global-update transaction for a round."""
+    global_gradient = np.asarray(global_gradient, dtype=np.float64)
+    tx = Transaction(
+        tx_type=TransactionType.GLOBAL_UPDATE,
+        sender=sender,
+        round_index=int(round_index),
+        payload_digest=_digest_vector(global_gradient),
+        payload_size_bytes=int(global_gradient.size) * _BYTES_PER_ELEMENT,
+        payload=global_gradient,
+    )
+    if keystore is not None:
+        tx.sign(keystore)
+    return tx
+
+
+def make_reward_transaction(
+    sender: str,
+    round_index: int,
+    client_id: str,
+    reward: float,
+    *,
+    contribution_label: str = "high",
+    keystore: KeyStore | None = None,
+) -> Transaction:
+    """Build (and optionally sign) one reward-list entry ⟨client, reward⟩."""
+    record = {"client": client_id, "reward": float(reward), "label": contribution_label}
+    digest = hashlib.sha256(json.dumps(record, sort_keys=True).encode("utf-8")).hexdigest()
+    tx = Transaction(
+        tx_type=TransactionType.REWARD,
+        sender=sender,
+        round_index=int(round_index),
+        payload_digest=digest,
+        payload_size_bytes=len(json.dumps(record)),
+        metadata={
+            "client": client_id,
+            "reward": float(reward),
+            "label": contribution_label,
+        },
+        payload=record,
+    )
+    if keystore is not None:
+        tx.sign(keystore)
+    return tx

@@ -1,0 +1,109 @@
+"""Configuration of the FAIR-BFL orchestrator.
+
+Defaults follow the paper's Section 5.1: ``n = 100`` clients, ``m = 2``
+miners, ``η = 0.01``, ``E = 5``, ``B = 10``, non-IID data, 100 communication
+rounds, DBSCAN-based contribution identification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.flexibility import OperatingMode
+from repro.fl.client import LocalTrainingConfig
+from repro.incentive.contribution import ContributionConfig
+from repro.sim.delay import DelayParameters
+from repro.utils.validation import check_probability
+
+__all__ = ["FairBFLConfig"]
+
+
+@dataclass(frozen=True)
+class FairBFLConfig:
+    """All knobs of a FAIR-BFL run.
+
+    Attributes
+    ----------
+    num_miners:
+        Number of miners ``m``.
+    num_rounds:
+        Number of communication rounds.
+    participation_fraction:
+        The selection ratio ``λ`` (Algorithm 1 line 3).
+    local:
+        Local-training hyper-parameters (``E``, ``B``, ``η``).
+    model_name, hidden_sizes:
+        Client/global model architecture.
+    contribution:
+        Algorithm 2 configuration (clustering algorithm, base reward).
+    strategy:
+        ``"keep"`` (FAIR) or ``"discard"`` (FAIR-Discard).
+    use_fair_aggregation:
+        Whether Equation (1) reweights the final aggregation (True) or the
+        simple average is kept (False; ablation).
+    mode:
+        Operating mode (full BFL by default; see
+        :class:`repro.core.flexibility.OperatingMode`).
+    enable_attacks:
+        Whether an :class:`~repro.attacks.scheduler.AttackScheduler` designates
+        malicious clients each round (Table 2 protocol).
+    attack_name / min_attackers / max_attackers:
+        Attack configuration when attacks are enabled.
+    verify_signatures:
+        Whether gradient uploads are RSA-signed and verified (Figure 2 path).
+    use_real_pow:
+        When True, the winning miner actually grinds a nonce at
+        ``pow_difficulty`` (functional proof of work); the round *timing*
+        always comes from the stochastic delay model either way.
+    pow_difficulty:
+        Difficulty of the functional proof of work (kept tiny by default).
+    delay_params:
+        Calibration constants of the delay model.
+    seed:
+        Experiment seed (controls everything: data split, selection, attacks,
+        delays, mining winners).
+    """
+
+    num_miners: int = 2
+    num_rounds: int = 100
+    participation_fraction: float = 0.1
+    local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
+    model_name: str = "mlp"
+    hidden_sizes: tuple[int, ...] = (64,)
+    contribution: ContributionConfig = field(default_factory=ContributionConfig)
+    strategy: str = "keep"
+    use_fair_aggregation: bool = True
+    mode: OperatingMode | str = OperatingMode.BFL
+    enable_attacks: bool = False
+    attack_name: str = "sign_flip"
+    min_attackers: int = 1
+    max_attackers: int = 3
+    verify_signatures: bool = True
+    use_real_pow: bool = True
+    pow_difficulty: float = 16.0
+    delay_params: DelayParameters = field(default_factory=DelayParameters)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_miners <= 0:
+            raise ValueError(f"num_miners must be positive, got {self.num_miners}")
+        if self.num_rounds <= 0:
+            raise ValueError(f"num_rounds must be positive, got {self.num_rounds}")
+        check_probability("participation_fraction", self.participation_fraction)
+        if self.participation_fraction == 0.0:
+            raise ValueError("participation_fraction must be > 0")
+        if self.strategy not in {"keep", "discard"}:
+            raise ValueError(f"strategy must be 'keep' or 'discard', got {self.strategy!r}")
+        if self.pow_difficulty < 1.0:
+            raise ValueError(f"pow_difficulty must be >= 1, got {self.pow_difficulty}")
+        if self.min_attackers < 0 or self.max_attackers < self.min_attackers:
+            raise ValueError(
+                f"invalid attacker bounds ({self.min_attackers}, {self.max_attackers})"
+            )
+        # Validate the mode eagerly so misconfiguration fails at construction.
+        OperatingMode.parse(self.mode)
+
+    @property
+    def operating_mode(self) -> OperatingMode:
+        """The parsed operating mode."""
+        return OperatingMode.parse(self.mode)

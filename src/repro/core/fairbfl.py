@@ -1,0 +1,373 @@
+"""The FAIR-BFL orchestrator (Algorithm 1).
+
+One :class:`FairBFLTrainer` owns the complete system: the federated clients
+and their data shards, the miners with replicated ledgers, the RSA key store,
+the incentive mechanism, the optional attack scheduler, and the delay model.
+Each call to :meth:`run_round` executes the procedures selected by the
+configured operating mode and appends one block (Assumption 2) containing the
+round's global update and reward list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.attacks.gradient_attacks import make_attack
+from repro.attacks.scheduler import AttackScheduler
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.miner import Miner
+from repro.blockchain.transaction import make_global_update_transaction
+from repro.core.config import FairBFLConfig
+from repro.core.flexibility import OperatingMode, Procedure, procedures_for_mode
+from repro.core.procedures import (
+    RoundContext,
+    procedure_exchange,
+    procedure_global_update,
+    procedure_local_update,
+    procedure_mining,
+    procedure_upload,
+)
+from repro.crypto.keystore import KeyStore
+from repro.datasets.federated import FederatedDataset
+from repro.fl.client import FLClient
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.selection import ContributionBasedSelector, RandomSelector
+from repro.incentive.rewards import RewardLedger
+from repro.incentive.strategies import make_strategy
+from repro.nn.metrics import accuracy
+from repro.nn.models import build_model
+from repro.nn.module import Module
+from repro.nn.parameters import get_flat_parameters, set_flat_parameters
+from repro.sim.delay import DelayModel
+from repro.utils.rng import new_rng
+from repro.utils.timer import SimulatedClock
+
+__all__ = ["FairBFLTrainer"]
+
+
+class FairBFLTrainer:
+    """Runs FAIR-BFL over a federated dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The partitioned dataset (paper: non-IID MNIST split over n=100 clients).
+    config:
+        The run configuration; see :class:`repro.core.config.FairBFLConfig`.
+    """
+
+    label = "fair-bfl"
+
+    def __init__(self, dataset: FederatedDataset, config: FairBFLConfig) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.mode: OperatingMode = config.operating_mode
+        seed = config.seed
+
+        # -- crypto / identities ------------------------------------------------
+        self.keystore: KeyStore | None = KeyStore(seed=seed) if config.verify_signatures else None
+        self.miner_ids = [f"miner-{k}" for k in range(config.num_miners)]
+        if self.keystore is not None:
+            for cid in range(dataset.num_clients):
+                self.keystore.register(f"client-{cid}")
+            for mid in self.miner_ids:
+                self.keystore.register(mid)
+
+        # -- model / clients -----------------------------------------------------
+        input_dim = int(dataset.clients[0].images.shape[1])
+        num_classes = max(
+            10, int(max(int(c.labels.max(initial=0)) for c in dataset.clients) + 1)
+        )
+        self._model_factory: Callable[[], Module] = lambda: build_model(
+            config.model_name,
+            input_dim,
+            num_classes,
+            new_rng(seed, self.label, "model-init"),
+            hidden_sizes=config.hidden_sizes,
+        )
+        self.global_model = self._model_factory()
+        initial_parameters = get_flat_parameters(self.global_model)
+        self.clients: dict[int, FLClient] = {
+            shard.client_id: FLClient(
+                shard,
+                self._model_factory,
+                new_rng(seed, self.label, "client", shard.client_id),
+            )
+            for shard in dataset.clients
+        }
+
+        # -- blockchain ------------------------------------------------------------
+        enforce_pow = config.use_real_pow
+        genesis = Block.genesis(
+            initial_global_update=make_global_update_transaction(
+                "genesis", -1, initial_parameters, keystore=None
+            )
+        )
+        self.miners: list[Miner] = []
+        for mid in self.miner_ids:
+            chain = Blockchain(enforce_pow=enforce_pow)
+            chain.add_genesis(genesis)
+            self.miners.append(
+                Miner(
+                    miner_id=mid,
+                    chain=chain,
+                    keystore=self.keystore,
+                    verify_signatures=config.verify_signatures,
+                )
+            )
+
+        # -- incentive / selection ---------------------------------------------------
+        self.strategy = make_strategy(config.strategy)
+        if config.strategy == "discard":
+            self.selector: RandomSelector = ContributionBasedSelector(
+                config.participation_fraction
+            )
+        else:
+            self.selector = RandomSelector(config.participation_fraction)
+        self.reward_ledger = RewardLedger()
+
+        # -- attacks -------------------------------------------------------------------
+        self.attack_scheduler: AttackScheduler | None = None
+        if config.enable_attacks:
+            self.attack_scheduler = AttackScheduler(
+                attack=make_attack(config.attack_name),
+                min_attackers=config.min_attackers,
+                max_attackers=config.max_attackers,
+            )
+
+        # -- timing / rng ----------------------------------------------------------------
+        self.delay_model = DelayModel(config.delay_params, new_rng(seed, self.label, "delay"))
+        self._selection_rng = new_rng(seed, self.label, "selection")
+        self._upload_rng = new_rng(seed, self.label, "upload")
+        self._mining_rng = new_rng(seed, self.label, "mining")
+        self._attack_rng = new_rng(seed, self.label, "attack")
+        self.clock = SimulatedClock()
+        self.history = TrainingHistory(label=self.label)
+
+    # ------------------------------------------------------------------
+    @property
+    def chain(self) -> Blockchain:
+        """The (replicated) ledger, viewed through the first miner."""
+        return self.miners[0].chain
+
+    def current_global_parameters(self) -> np.ndarray:
+        """Procedure I's read of the global parameters.
+
+        In full-BFL and chain-only modes the parameters come from the latest
+        block (Assumption 2 guarantees each block carries the round's global
+        gradient).  In FL-only mode there is no ledger update, so the trainer's
+        off-chain global model is the source of truth.
+        """
+        if self.mode is OperatingMode.FL_ONLY:
+            return get_flat_parameters(self.global_model)
+        params = self.chain.latest_global_update()
+        if params is None:
+            return get_flat_parameters(self.global_model)
+        return params
+
+    def global_test_accuracy(self) -> float:
+        """Accuracy of the on-chain global model on the held-out test set."""
+        params = self.current_global_parameters()
+        set_flat_parameters(self.global_model, params)
+        self.global_model.eval()
+        logits = self.global_model.forward(self.dataset.test_images)
+        return accuracy(logits, self.dataset.test_labels)
+
+    # ------------------------------------------------------------------
+    def _apply_attacks(self, ctx: RoundContext) -> None:
+        """Designate attackers for the round and forge their updates in place."""
+        if self.attack_scheduler is None or not ctx.updates:
+            return
+        attacker_ids = self.attack_scheduler.designate(
+            [u.client_id for u in ctx.updates], self._attack_rng
+        )
+        ctx.attacker_ids = attacker_ids
+        if not attacker_ids:
+            return
+        attackers = set(attacker_ids)
+        forged_updates = []
+        for update in ctx.updates:
+            if update.client_id in attackers:
+                forged_updates.append(
+                    self.attack_scheduler.forge(
+                        update,
+                        self._attack_rng,
+                        global_parameters=ctx.global_parameters,
+                    )
+                )
+            else:
+                forged_updates.append(update)
+        ctx.updates = forged_updates
+
+    def _round_accuracy(self, ctx: RoundContext) -> float:
+        """Average verification accuracy of the new global model across participants.
+
+        The paper averages per-client verification accuracies; evaluating the
+        *new global parameters* on each participant's verification split makes
+        the metric sensitive to aggregation quality (fairness weighting,
+        discarding, poisoning) rather than to purely local fits.
+        """
+        if ctx.new_global_parameters is None or not ctx.selected_clients:
+            return self.global_test_accuracy()
+        accs = [
+            self.clients[cid].evaluate(ctx.new_global_parameters)
+            for cid in ctx.selected_clients
+        ]
+        return float(np.mean(accs))
+
+    def _round_delay(self, ctx: RoundContext, procedures: tuple[Procedure, ...]) -> dict:
+        """Sample the round's delay for exactly the procedures that ran."""
+        cfg = self.config
+        num_participants = len(ctx.selected_clients)
+        sizes = [self.clients[cid].num_samples for cid in ctx.selected_clients] or [1]
+        batches_per_epoch = float(
+            np.mean([np.ceil(s / cfg.local.batch_size) for s in sizes])
+        )
+        breakdown_parts = {
+            "t_local": 0.0,
+            "t_up": 0.0,
+            "t_ex": 0.0,
+            "t_gl": 0.0,
+            "t_bl": 0.0,
+        }
+        if Procedure.LOCAL_UPDATE in procedures:
+            breakdown_parts["t_local"] = self.delay_model.local_training_delay(
+                num_participants, batches_per_epoch, cfg.local.epochs
+            )
+        if Procedure.UPLOAD in procedures:
+            breakdown_parts["t_up"] = self.delay_model.upload_delay(num_participants)
+        if Procedure.EXCHANGE in procedures:
+            breakdown_parts["t_ex"] = self.delay_model.exchange_delay(cfg.num_miners)
+        if Procedure.GLOBAL_UPDATE in procedures:
+            num_gradients = (
+                len(ctx.gradient_client_ids) if ctx.gradient_client_ids else num_participants
+            )
+            breakdown_parts["t_gl"] = self.delay_model.aggregation_delay(
+                num_gradients, with_clustering=True
+            )
+        if Procedure.MINING in procedures:
+            breakdown_parts["t_bl"] = self.delay_model.mining_delay(cfg.num_miners)
+        breakdown_parts["total"] = float(sum(v for k, v in breakdown_parts.items()))
+        return breakdown_parts
+
+    # ------------------------------------------------------------------
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one communication round under the configured operating mode."""
+        cfg = self.config
+        procedures = procedures_for_mode(self.mode)
+        ctx = RoundContext(
+            round_index=round_index,
+            global_parameters=self.current_global_parameters(),
+        )
+        ctx.selected_clients = [
+            int(c) for c in self.selector.select(self.dataset.num_clients, self._selection_rng)
+        ]
+
+        if Procedure.LOCAL_UPDATE in procedures:
+            procedure_local_update(ctx, self.clients, cfg.local)
+            self._apply_attacks(ctx)
+        if Procedure.UPLOAD in procedures:
+            procedure_upload(ctx, self.miners, self.keystore, self._upload_rng)
+        if Procedure.EXCHANGE in procedures:
+            procedure_exchange(ctx, self.miners)
+        elif Procedure.UPLOAD in procedures:
+            # FL-only mode: no miner exchange, but the (single logical server)
+            # still needs the stacked gradient matrix from the first miner.
+            procedure_exchange(ctx, self.miners[:1])
+        if Procedure.GLOBAL_UPDATE in procedures:
+            procedure_global_update(
+                ctx,
+                contribution_config=cfg.contribution,
+                strategy=self.strategy,
+                use_fair_aggregation=cfg.use_fair_aggregation,
+                run_incentive=self.mode is not OperatingMode.FL_ONLY,
+            )
+        if Procedure.MINING in procedures and ctx.new_global_parameters is None:
+            # Chain-only mode skips Procedure IV; the block still records the
+            # (unchanged) global parameters so the ledger keeps one block per
+            # round, exactly as the functional-scaling analysis assumes.
+            ctx.new_global_parameters = np.asarray(
+                ctx.global_parameters, dtype=np.float64
+            ).copy()
+        if Procedure.MINING in procedures and ctx.new_global_parameters is not None:
+            procedure_mining(
+                ctx,
+                self.miners,
+                self.keystore,
+                self._mining_rng,
+                use_real_pow=cfg.use_real_pow,
+                pow_difficulty=cfg.pow_difficulty,
+                timestamp=self.clock.now,
+            )
+        elif ctx.new_global_parameters is not None:
+            # FL-only mode: keep the global model off-chain on the trainer.
+            set_flat_parameters(self.global_model, ctx.new_global_parameters)
+
+        # -- incentive bookkeeping ------------------------------------------------
+        discarded: list[int] = []
+        rewards: dict[int, float] = {}
+        if ctx.strategy_outcome is not None:
+            discarded = list(ctx.strategy_outcome.discarded_client_ids)
+        if ctx.reward_list:
+            self.reward_ledger.record_round(round_index, ctx.reward_list)
+            rewards = {entry.client_id: entry.reward for entry in ctx.reward_list}
+            for entry in ctx.reward_list:
+                if entry.client_id in self.clients:
+                    self.clients[entry.client_id].grant_reward(entry.reward)
+        if discarded and isinstance(self.selector, ContributionBasedSelector):
+            self.selector.exclude_for_next_round(discarded)
+        if self.attack_scheduler is not None:
+            self.attack_scheduler.record_round(round_index, ctx.attacker_ids, discarded)
+
+        # -- measurement --------------------------------------------------------------
+        breakdown = self._round_delay(ctx, procedures)
+        self.clock.advance(breakdown["total"])
+        acc = self._round_accuracy(ctx) if Procedure.LOCAL_UPDATE in procedures else 0.0
+        train_loss = (
+            float(np.mean([u.train_loss for u in ctx.updates])) if ctx.updates else 0.0
+        )
+        record = RoundRecord(
+            round_index=round_index,
+            delay=breakdown["total"],
+            accuracy=acc,
+            train_loss=train_loss,
+            elapsed_time=self.clock.now,
+            participants=list(ctx.selected_clients),
+            discarded=discarded,
+            attackers=list(ctx.attacker_ids),
+            rewards=rewards,
+            extras={
+                "delay_breakdown": breakdown,
+                "winning_miner": ctx.winning_miner,
+                "chain_height": self.chain.height,
+                "rejected_uploads": ctx.rejected_uploads,
+                "used_clustering_fallback": (
+                    ctx.contribution_report.used_fallback
+                    if ctx.contribution_report is not None
+                    else False
+                ),
+            },
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, *, num_rounds: int | None = None) -> TrainingHistory:
+        """Run the configured number of communication rounds."""
+        rounds = self.config.num_rounds if num_rounds is None else int(num_rounds)
+        for r in range(len(self.history), len(self.history) + rounds):
+            self.run_round(r)
+        return self.history
+
+    # ------------------------------------------------------------------
+    def detection_logs(self):
+        """Per-round attacker/drop logs (empty when attacks are disabled)."""
+        return [] if self.attack_scheduler is None else list(self.attack_scheduler.logs)
+
+    def average_detection_rate(self) -> float:
+        """Average detection rate across logged rounds (Table 2's bottom row)."""
+        if self.attack_scheduler is None:
+            return 1.0
+        return self.attack_scheduler.average_detection_rate()

@@ -1,0 +1,76 @@
+"""Flexibility by design (paper Section 4).
+
+FAIR-BFL's five procedures can be "coupled flexibly and dynamically":
+
+* removing Procedures I and IV leaves a pure blockchain
+  (:attr:`OperatingMode.CHAIN_ONLY`);
+* removing Procedures III and V leaves a pure FL system
+  (:attr:`OperatingMode.FL_ONLY`);
+* keeping all five gives full FAIR-BFL (:attr:`OperatingMode.BFL`).
+
+The orchestrator consults :func:`procedures_for_mode` every round, so an
+adopter can even switch modes mid-run ("when business shrinks, adopters may
+expect to quickly switch from BFL to degraded versions").
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Procedure", "OperatingMode", "procedures_for_mode"]
+
+
+class Procedure(str, Enum):
+    """The five procedures of Algorithm 1 / Figure 3."""
+
+    LOCAL_UPDATE = "I-local-learning-and-update"
+    UPLOAD = "II-uploading-gradients"
+    EXCHANGE = "III-exchanging-gradients"
+    GLOBAL_UPDATE = "IV-computing-global-updates"
+    MINING = "V-block-mining-and-consensus"
+
+
+class OperatingMode(str, Enum):
+    """Functional-scaling modes of FAIR-BFL."""
+
+    BFL = "bfl"
+    FL_ONLY = "fl_only"
+    CHAIN_ONLY = "chain_only"
+
+    @classmethod
+    def parse(cls, value: "OperatingMode | str") -> "OperatingMode":
+        """Accept either the enum or its string value."""
+        if isinstance(value, OperatingMode):
+            return value
+        try:
+            return cls(str(value).strip().lower())
+        except ValueError as exc:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(f"unknown operating mode {value!r}; expected one of: {valid}") from exc
+
+
+#: Which procedures run in each mode (Figure 3's dashed rectangles).
+_MODE_PROCEDURES: dict[OperatingMode, tuple[Procedure, ...]] = {
+    OperatingMode.BFL: (
+        Procedure.LOCAL_UPDATE,
+        Procedure.UPLOAD,
+        Procedure.EXCHANGE,
+        Procedure.GLOBAL_UPDATE,
+        Procedure.MINING,
+    ),
+    OperatingMode.FL_ONLY: (
+        Procedure.LOCAL_UPDATE,
+        Procedure.UPLOAD,
+        Procedure.GLOBAL_UPDATE,
+    ),
+    OperatingMode.CHAIN_ONLY: (
+        Procedure.UPLOAD,
+        Procedure.EXCHANGE,
+        Procedure.MINING,
+    ),
+}
+
+
+def procedures_for_mode(mode: OperatingMode | str) -> tuple[Procedure, ...]:
+    """The ordered procedures executed per round under ``mode``."""
+    return _MODE_PROCEDURES[OperatingMode.parse(mode)]

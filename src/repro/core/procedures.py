@@ -1,0 +1,242 @@
+"""The five procedures of Algorithm 1 as composable functions.
+
+Each procedure takes a :class:`RoundContext` (the mutable state of one
+communication round) and the shared system objects it needs, performs its step,
+and returns the context.  The orchestrator
+(:class:`repro.core.fairbfl.FairBFLTrainer`) simply executes the procedures
+listed by :func:`repro.core.flexibility.procedures_for_mode`, which is what
+makes the functional-scaling claim concrete in code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blockchain.block import Block
+from repro.blockchain.miner import Miner
+from repro.blockchain.pow import sample_winner
+from repro.blockchain.transaction import (
+    Transaction,
+    make_global_update_transaction,
+    make_gradient_transaction,
+    make_reward_transaction,
+)
+from repro.crypto.keystore import KeyStore
+from repro.fl.aggregation import simple_average
+from repro.fl.client import ClientUpdate, FLClient, LocalTrainingConfig
+from repro.incentive.contribution import ContributionConfig, ContributionReport, identify_contributions
+from repro.incentive.distance import cosine_distance_to_reference
+from repro.incentive.rewards import RewardEntry
+from repro.incentive.strategies import Strategy, StrategyOutcome
+
+__all__ = [
+    "RoundContext",
+    "procedure_local_update",
+    "procedure_upload",
+    "procedure_exchange",
+    "procedure_global_update",
+    "procedure_mining",
+]
+
+
+@dataclass
+class RoundContext:
+    """Mutable state threaded through one communication round."""
+
+    round_index: int
+    global_parameters: np.ndarray
+    selected_clients: list[int] = field(default_factory=list)
+    updates: list[ClientUpdate] = field(default_factory=list)
+    attacker_ids: list[int] = field(default_factory=list)
+    transactions: list[Transaction] = field(default_factory=list)
+    client_to_miner: dict[int, str] = field(default_factory=dict)
+    gradient_matrix: np.ndarray | None = None
+    gradient_client_ids: list[int] = field(default_factory=list)
+    new_global_parameters: np.ndarray | None = None
+    contribution_report: ContributionReport | None = None
+    strategy_outcome: StrategyOutcome | None = None
+    reward_list: list[RewardEntry] = field(default_factory=list)
+    winning_miner: str | None = None
+    mined_block: Block | None = None
+    rejected_uploads: int = 0
+
+
+# -- Procedure I ------------------------------------------------------------
+def procedure_local_update(
+    ctx: RoundContext,
+    clients: dict[int, FLClient],
+    local_config: LocalTrainingConfig,
+) -> RoundContext:
+    """Every selected client trains locally starting from the latest global parameters."""
+    ctx.updates = [
+        clients[cid].local_update(ctx.global_parameters, local_config)
+        for cid in ctx.selected_clients
+    ]
+    return ctx
+
+
+# -- Procedure II ------------------------------------------------------------
+def procedure_upload(
+    ctx: RoundContext,
+    miners: list[Miner],
+    keystore: KeyStore | None,
+    rng: np.random.Generator,
+    *,
+    client_id_formatter=lambda cid: f"client-{cid}",
+) -> RoundContext:
+    """Each client signs its update and uploads it to a uniformly random miner."""
+    for miner in miners:
+        miner.reset_round()
+    ctx.rejected_uploads = 0
+    for update in ctx.updates:
+        sender = client_id_formatter(update.client_id)
+        tx = make_gradient_transaction(
+            sender,
+            ctx.round_index,
+            update.parameters,
+            keystore=keystore,
+            client_index=update.client_id,
+        )
+        ctx.transactions.append(tx)
+        miner_index = int(rng.integers(0, len(miners)))
+        miner = miners[miner_index]
+        ctx.client_to_miner[update.client_id] = miner.miner_id
+        accepted = miner.receive_upload(tx)
+        if not accepted:
+            ctx.rejected_uploads += 1
+    return ctx
+
+
+# -- Procedure III -----------------------------------------------------------
+def procedure_exchange(ctx: RoundContext, miners: list[Miner]) -> RoundContext:
+    """Miners broadcast and merge gradient sets until all hold the same set."""
+    if len(miners) > 1:
+        # One all-to-all pass is sufficient in the synchronous model: every
+        # miner merges every other miner's set.
+        snapshots = {m.miner_id: dict(m.gradient_set) for m in miners}
+        for miner in miners:
+            for other_id, other_set in snapshots.items():
+                if other_id != miner.miner_id:
+                    miner.merge_gradient_set(other_set)
+    reference = miners[0]
+    senders, matrix = reference.gradient_vectors()
+    ctx.gradient_client_ids = [
+        int(tx.metadata.get("client_index", -1))
+        for tx in sorted(reference.gradient_set.values(), key=lambda t: t.sender)
+    ]
+    ctx.gradient_matrix = matrix
+    return ctx
+
+
+# -- Procedure IV ------------------------------------------------------------
+def procedure_global_update(
+    ctx: RoundContext,
+    *,
+    contribution_config: ContributionConfig | None,
+    strategy: Strategy | None,
+    use_fair_aggregation: bool = True,
+    run_incentive: bool = True,
+) -> RoundContext:
+    """Aggregate the gradient set, identify contributions, apply the strategy.
+
+    Mirrors Algorithm 1 lines 23-27: first the simple average (line 24), then
+    Algorithm 2 (line 26), then fair aggregation / the strategy (line 27).
+    """
+    if ctx.gradient_matrix is None or ctx.gradient_matrix.shape[0] == 0:
+        # No gradients arrived (all rejected); the global model is unchanged.
+        ctx.new_global_parameters = np.asarray(ctx.global_parameters, dtype=np.float64).copy()
+        return ctx
+
+    matrix = ctx.gradient_matrix
+    client_ids = ctx.gradient_client_ids
+    base_global = simple_average(matrix)
+
+    if not run_incentive or contribution_config is None or strategy is None:
+        ctx.new_global_parameters = base_global
+        return ctx
+
+    # Contribution identification works on the round's *update directions*
+    # w^i_{r+1} - w_r (the paper calls the uploaded quantities "gradients"):
+    # the shared starting point w_r would otherwise dominate the cosine
+    # geometry and hide the per-client differences Algorithm 2 relies on.
+    previous = np.asarray(ctx.global_parameters, dtype=np.float64)
+    deltas = matrix - previous[None, :]
+    global_delta = base_global - previous
+    report = identify_contributions(deltas, client_ids, global_delta, contribution_config)
+    # Equation (1) weights use θ computed on the uploaded vectors themselves
+    # (the literal W^k_{r+1} of Algorithm 2); those distances are small and
+    # nearly uniform, which reproduces the paper's observation that FAIR-BFL's
+    # accuracy tracks FedAvg.  The direction-space θ above drive detection,
+    # discarding, and rewards, where discrimination between clients is the point.
+    agg_theta_values = cosine_distance_to_reference(matrix, base_global)
+    aggregation_thetas = {
+        int(cid): float(t) for cid, t in zip(client_ids, agg_theta_values)
+    }
+    outcome = strategy.apply(
+        matrix,
+        client_ids,
+        base_global,
+        report,
+        use_fair_aggregation=use_fair_aggregation,
+        aggregation_thetas=aggregation_thetas,
+    )
+    ctx.contribution_report = report
+    ctx.strategy_outcome = outcome
+    ctx.reward_list = report.reward_list
+    ctx.new_global_parameters = outcome.global_update
+    return ctx
+
+
+# -- Procedure V -------------------------------------------------------------
+def procedure_mining(
+    ctx: RoundContext,
+    miners: list[Miner],
+    keystore: KeyStore | None,
+    rng: np.random.Generator,
+    *,
+    use_real_pow: bool = True,
+    pow_difficulty: float = 16.0,
+    timestamp: float = 0.0,
+) -> RoundContext:
+    """Run the mining competition and commit the round's block on every replica.
+
+    The block carries exactly the global update and the reward list
+    (Assumption 2), so one block finalises the round on all replicas and no
+    fork can arise.
+    """
+    if ctx.new_global_parameters is None:
+        raise RuntimeError("procedure_mining called before procedure_global_update")
+    winner_id, _solve_time = sample_winner(
+        rng, [m.miner_id for m in miners], difficulty=max(1.0, pow_difficulty)
+    )
+    winner = next(m for m in miners if m.miner_id == winner_id)
+    ctx.winning_miner = winner_id
+
+    block_txs: list[Transaction] = [
+        make_global_update_transaction(
+            winner_id, ctx.round_index, ctx.new_global_parameters, keystore=keystore
+        )
+    ]
+    for entry in ctx.reward_list:
+        block_txs.append(
+            make_reward_transaction(
+                winner_id,
+                ctx.round_index,
+                f"client-{entry.client_id}",
+                entry.reward,
+                contribution_label=entry.label,
+                keystore=keystore,
+            )
+        )
+    block = winner.build_block(
+        ctx.round_index, block_txs, timestamp=timestamp,
+        difficulty=pow_difficulty if use_real_pow else 1.0,
+    )
+    if use_real_pow:
+        winner.mine(block, difficulty=pow_difficulty)
+    for miner in miners:
+        miner.accept_block(block)
+    ctx.mined_block = block
+    return ctx

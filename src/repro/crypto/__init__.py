@@ -1,0 +1,45 @@
+"""Cryptography substrate.
+
+FAIR-BFL signs every uploaded gradient with the client's RSA private key and
+miners verify with the matching public key (paper Figure 2); blocks are linked
+and mined with SHA-256 (Equation 4).  This package implements those primitives
+from scratch on Python integers and :mod:`hashlib`:
+
+* :mod:`repro.crypto.primes` — Miller-Rabin primality testing and prime
+  generation;
+* :mod:`repro.crypto.rsa` — key generation, hash-then-sign signatures, and
+  textbook encryption;
+* :mod:`repro.crypto.hashing` — SHA-256 helpers and proof-of-work target
+  arithmetic;
+* :mod:`repro.crypto.keystore` — the per-client key registry miners use to
+  verify uploads.
+
+Key sizes are configurable and intentionally small by default (simulation
+scale); this is an educational/simulation implementation, not hardened
+production cryptography.
+"""
+
+from repro.crypto.hashing import (
+    difficulty_to_target,
+    hash_to_int,
+    meets_target,
+    sha256_hex,
+)
+from repro.crypto.keystore import KeyStore
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.rsa import RSAKeyPair, rsa_decrypt, rsa_encrypt, rsa_sign, rsa_verify
+
+__all__ = [
+    "difficulty_to_target",
+    "hash_to_int",
+    "meets_target",
+    "sha256_hex",
+    "KeyStore",
+    "generate_prime",
+    "is_probable_prime",
+    "RSAKeyPair",
+    "rsa_decrypt",
+    "rsa_encrypt",
+    "rsa_sign",
+    "rsa_verify",
+]

@@ -1,0 +1,131 @@
+"""Schoolbook RSA: key generation, hash-then-sign signatures, encryption.
+
+FAIR-BFL (paper Figure 2) assigns every client a private key derived from its
+ID; the miners hold the corresponding public keys and verify the signature on
+every uploaded gradient transaction before using it.  This module provides
+that mechanism.
+
+The implementation is deliberately simple (no OAEP/PSS padding) because it
+runs inside a simulation where the adversary model is "malicious clients forge
+gradient *content*", not "adversaries attack the RSA padding".  Signatures are
+``sig = H(message)^d mod n`` with SHA-256 as ``H``; verification recomputes the
+digest and checks ``sig^e mod n``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from math import gcd
+
+import numpy as np
+
+from repro.crypto.primes import generate_prime
+
+__all__ = ["RSAKeyPair", "rsa_sign", "rsa_verify", "rsa_encrypt", "rsa_decrypt"]
+
+_DEFAULT_PUBLIC_EXPONENT = 65537
+
+
+def _digest_int(message: bytes, modulus: int) -> int:
+    """SHA-256 digest of ``message`` reduced into the RSA modulus range."""
+    digest = hashlib.sha256(message).digest()
+    return int.from_bytes(digest, "big") % modulus
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """An RSA key pair ``(n, e, d)``.
+
+    Attributes
+    ----------
+    modulus:
+        ``n = p * q``.
+    public_exponent:
+        ``e`` (coprime with Euler's totient).
+    private_exponent:
+        ``d = e^{-1} mod phi(n)``.
+    bits:
+        Modulus size in bits (informational).
+    """
+
+    modulus: int
+    public_exponent: int
+    private_exponent: int
+    bits: int
+
+    @property
+    def public_key(self) -> tuple[int, int]:
+        """``(n, e)`` — safe to share with miners."""
+        return (self.modulus, self.public_exponent)
+
+    @property
+    def private_key(self) -> tuple[int, int]:
+        """``(n, d)`` — held only by the owning client."""
+        return (self.modulus, self.private_exponent)
+
+    @classmethod
+    def generate(cls, rng: np.random.Generator, *, bits: int = 256) -> "RSAKeyPair":
+        """Generate a fresh key pair with a ``bits``-bit modulus.
+
+        Parameters
+        ----------
+        rng:
+            Generator used for prime candidates; passing a per-client stream
+            makes key assignment reproducible.
+        bits:
+            Modulus size; must be at least 32 (two >=16-bit primes).
+        """
+        if bits < 32:
+            raise ValueError(f"modulus size must be at least 32 bits, got {bits}")
+        half = bits // 2
+        e = _DEFAULT_PUBLIC_EXPONENT
+        while True:
+            p = generate_prime(half, rng)
+            q = generate_prime(bits - half, rng)
+            if p == q:
+                continue
+            n = p * q
+            phi = (p - 1) * (q - 1)
+            if gcd(e, phi) != 1:
+                continue
+            d = pow(e, -1, phi)
+            return cls(modulus=n, public_exponent=e, private_exponent=d, bits=bits)
+
+
+def rsa_sign(message: bytes, private_key: tuple[int, int]) -> int:
+    """Sign ``message`` (hash-then-sign) with ``(n, d)`` and return the integer signature."""
+    n, d = int(private_key[0]), int(private_key[1])
+    if n <= 1:
+        raise ValueError("invalid RSA modulus")
+    return pow(_digest_int(message, n), d, n)
+
+
+def rsa_verify(message: bytes, signature: int, public_key: tuple[int, int]) -> bool:
+    """Verify a signature produced by :func:`rsa_sign` against ``(n, e)``."""
+    n, e = int(public_key[0]), int(public_key[1])
+    if n <= 1:
+        return False
+    try:
+        recovered = pow(int(signature), e, n)
+    except (TypeError, ValueError):
+        return False
+    return recovered == _digest_int(message, n)
+
+
+def rsa_encrypt(plaintext_int: int, public_key: tuple[int, int]) -> int:
+    """Textbook RSA encryption of an integer smaller than the modulus."""
+    n, e = int(public_key[0]), int(public_key[1])
+    m = int(plaintext_int)
+    if not (0 <= m < n):
+        raise ValueError(f"plaintext must lie in [0, modulus), got {m} for modulus {n}")
+    return pow(m, e, n)
+
+
+def rsa_decrypt(ciphertext_int: int, private_key: tuple[int, int]) -> int:
+    """Textbook RSA decryption of an integer ciphertext."""
+    n, d = int(private_key[0]), int(private_key[1])
+    c = int(ciphertext_int)
+    if not (0 <= c < n):
+        raise ValueError(f"ciphertext must lie in [0, modulus), got {c} for modulus {n}")
+    return pow(c, d, n)

@@ -1,0 +1,92 @@
+"""Mini-batch iteration.
+
+Algorithm 1 (line 8) splits the client's shard into batches of size ``B``;
+these helpers implement that split with optional shuffling, dropping nothing
+(the final short batch is kept, matching the ``D_i / B`` accounting of
+Section 4.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["minibatches", "BatchIterator"]
+
+
+def minibatches(
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(image_batch, label_batch)`` pairs covering the data once.
+
+    Parameters
+    ----------
+    batch_size:
+        Positive batch size ``B``; the last batch may be smaller.
+    rng:
+        If given, the sample order is shuffled before batching.
+    """
+    images = np.asarray(images)
+    labels = np.asarray(labels)
+    if images.shape[0] != labels.shape[0]:
+        raise ValueError("images and labels must have the same number of rows")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    n = images.shape[0]
+    order = rng.permutation(n) if rng is not None else np.arange(n)
+    for start in range(0, n, batch_size):
+        sel = order[start : start + batch_size]
+        yield images[sel], labels[sel]
+
+
+class BatchIterator:
+    """Reusable epoch iterator over a fixed dataset.
+
+    Unlike the one-shot :func:`minibatches` generator, a ``BatchIterator`` is
+    constructed once per client and re-used every epoch/round, keeping the
+    shuffling stream attached to the client's own RNG.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+        *,
+        shuffle: bool = True,
+    ) -> None:
+        self.images = np.asarray(images)
+        self.labels = np.asarray(labels)
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError("images and labels must have the same number of rows")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.batch_size = int(batch_size)
+        self.rng = rng
+        self.shuffle = bool(shuffle) and rng is not None
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def batches_per_epoch(self) -> int:
+        """Number of batches per epoch, i.e. ``ceil(D_i / B)``."""
+        return int(np.ceil(self.num_samples / self.batch_size))
+
+    def epoch(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Iterate once over the data in (possibly shuffled) batches."""
+        return minibatches(
+            self.images,
+            self.labels,
+            self.batch_size,
+            self.rng if self.shuffle else None,
+        )
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        return self.epoch()

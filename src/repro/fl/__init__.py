@@ -1,0 +1,48 @@
+"""Federated-learning substrate.
+
+Implements the learning half of FAIR-BFL and both FL baselines used in the
+paper's evaluation:
+
+* :mod:`repro.fl.client` — per-client local SGD update (Algorithm 1,
+  Procedure I), including FedProx's proximal variant;
+* :mod:`repro.fl.aggregation` — simple averaging, sample-size weighting, and
+  the paper's contribution-weighted *fair aggregation* (Equation 1);
+* :mod:`repro.fl.selection` — random λn client selection and
+  contribution-based selection (the discard strategy's side effect);
+* :mod:`repro.fl.server` — the centralised parameter server used by the
+  FedAvg / FedProx baselines;
+* :mod:`repro.fl.fedavg`, :mod:`repro.fl.fedprox` — the baseline trainers;
+* :mod:`repro.fl.history` — per-round records shared by all trainers.
+"""
+
+from repro.fl.aggregation import (
+    contribution_weights,
+    fair_aggregate,
+    simple_average,
+    weighted_average,
+)
+from repro.fl.client import ClientUpdate, FLClient, LocalTrainingConfig
+from repro.fl.fedavg import FedAvgConfig, FedAvgTrainer
+from repro.fl.fedprox import FedProxConfig, FedProxTrainer
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.selection import ContributionBasedSelector, RandomSelector
+from repro.fl.server import CentralServer
+
+__all__ = [
+    "contribution_weights",
+    "fair_aggregate",
+    "simple_average",
+    "weighted_average",
+    "ClientUpdate",
+    "FLClient",
+    "LocalTrainingConfig",
+    "FedAvgConfig",
+    "FedAvgTrainer",
+    "FedProxConfig",
+    "FedProxTrainer",
+    "RoundRecord",
+    "TrainingHistory",
+    "ContributionBasedSelector",
+    "RandomSelector",
+    "CentralServer",
+]

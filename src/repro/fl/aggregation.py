@@ -1,0 +1,94 @@
+"""Aggregation rules.
+
+Three aggregation schemes appear in the paper:
+
+* *simple averaging* (Algorithm 1 line 24): every uploaded vector gets weight
+  ``1/n`` regardless of contribution;
+* *sample-size weighting* (classic FedAvg): weights proportional to each
+  client's self-reported data size — exactly the self-reporting the paper
+  argues cannot be trusted;
+* *fair aggregation* (Equation 1): weights ``p_i = θ_i / Σθ_k`` derived from
+  the cosine-distance contributions produced by Algorithm 2, requiring no
+  self-reported information.
+
+All functions take a ``(k, d)`` matrix of stacked parameter vectors and return
+the aggregated ``(d,)`` vector; they are pure and vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "simple_average",
+    "weighted_average",
+    "contribution_weights",
+    "fair_aggregate",
+]
+
+
+def _check_matrix(updates: np.ndarray) -> np.ndarray:
+    m = np.asarray(updates, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] == 0:
+        raise ValueError(
+            f"expected a non-empty (num_clients, dim) update matrix, got shape {m.shape}"
+        )
+    return m
+
+
+def simple_average(updates: np.ndarray) -> np.ndarray:
+    """Unweighted mean of the uploaded vectors (Algorithm 1, 'Simple Average')."""
+    return _check_matrix(updates).mean(axis=0)
+
+
+def weighted_average(updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Convex combination of the uploaded vectors with explicit ``weights``.
+
+    The weights are normalised to sum to one; they must be non-negative and
+    not all zero.
+    """
+    m = _check_matrix(updates)
+    w = np.asarray(weights, dtype=np.float64).ravel()
+    if w.shape[0] != m.shape[0]:
+        raise ValueError(
+            f"expected {m.shape[0]} weights (one per update), got {w.shape[0]}"
+        )
+    if np.any(w < 0):
+        raise ValueError("aggregation weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("aggregation weights must not all be zero")
+    return (w[:, None] / total * m).sum(axis=0)
+
+
+def contribution_weights(thetas: np.ndarray, *, eps: float = 1e-12) -> np.ndarray:
+    """Normalise cosine-distance contributions θ_i into weights p_i = θ_i / Σθ_k.
+
+    A degenerate all-zero θ vector (every client identical to the global
+    update) falls back to uniform weights, which coincides with simple
+    averaging — the natural limit of Equation (1).
+    """
+    t = np.asarray(thetas, dtype=np.float64).ravel()
+    if t.shape[0] == 0:
+        raise ValueError("at least one contribution value is required")
+    if np.any(t < 0):
+        raise ValueError("contribution values (cosine distances) must be non-negative")
+    total = t.sum()
+    if total < eps:
+        return np.full(t.shape[0], 1.0 / t.shape[0])
+    return t / total
+
+
+def fair_aggregate(updates: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+    """Fair aggregation of Equation (1): weight each update by its contribution.
+
+    Parameters
+    ----------
+    updates:
+        ``(k, d)`` matrix of uploaded parameter vectors.
+    thetas:
+        Length-``k`` vector of cosine distances θ_i between each upload and the
+        (simple-average) global update, as computed by Algorithm 2.
+    """
+    weights = contribution_weights(thetas)
+    return weighted_average(updates, weights)

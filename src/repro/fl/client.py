@@ -1,0 +1,233 @@
+"""Federated clients and their local update procedure.
+
+Procedure I of Algorithm 1: the client reads the global parameters from the
+latest block (or from the central server in the FL baselines), runs ``E``
+epochs of mini-batch SGD with batch size ``B`` and learning rate ``η`` on its
+local shard, and produces the updated parameter vector ``w^i_{r+1}`` that it
+will upload.
+
+The same client type also implements the FedProx local objective (an added
+proximal term ``(μ/2)·||w - w_global||²``), selected through
+:class:`LocalTrainingConfig.proximal_mu`, so the FedProx baseline shares all
+of the data/model plumbing with FAIR-BFL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.federated import ClientDataset
+from repro.datasets.loaders import BatchIterator
+from repro.nn.losses import SoftmaxCrossEntropyLoss
+from repro.nn.metrics import accuracy
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+from repro.nn.parameters import get_flat_parameters, set_flat_parameters
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["LocalTrainingConfig", "ClientUpdate", "FLClient"]
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """Hyper-parameters of the local update (paper Table 1 defaults).
+
+    Attributes
+    ----------
+    epochs:
+        Number of local epochs ``E`` (paper default 5).
+    batch_size:
+        Mini-batch size ``B`` (paper default 10).
+    learning_rate:
+        SGD step size ``η`` (paper default 0.01; swept in Figure 5).
+    proximal_mu:
+        FedProx proximal coefficient ``μ``; 0 recovers plain SGD / FedAvg.
+    weight_decay:
+        Optional L2 regularisation (0 by default; a small value makes the
+        logistic-regression objective strongly convex for the Theorem 3.1
+        benchmark).
+    """
+
+    epochs: int = 5
+    batch_size: int = 10
+    learning_rate: float = 0.01
+    proximal_mu: float = 0.0
+    weight_decay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        check_positive("learning_rate", self.learning_rate)
+        check_non_negative("proximal_mu", self.proximal_mu)
+        check_non_negative("weight_decay", self.weight_decay)
+
+
+@dataclass
+class ClientUpdate:
+    """What a client hands to its miner/server after a local update.
+
+    Attributes
+    ----------
+    client_id:
+        Index of the producing client.
+    parameters:
+        Updated flat parameter vector ``w^i_{r+1}``.
+    num_samples:
+        Size of the client's local training shard (the quantity vanilla BFL
+        would have asked the client to self-report).
+    train_loss:
+        Mean training loss over the local epochs.
+    val_accuracy:
+        Accuracy on the client's local verification split under the *updated*
+        parameters; the paper averages these into "average accuracy".
+    is_malicious:
+        Set by the attack layer when the update has been forged.
+    """
+
+    client_id: int
+    parameters: np.ndarray
+    num_samples: int
+    train_loss: float
+    val_accuracy: float
+    is_malicious: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    def copy_with_parameters(self, parameters: np.ndarray) -> "ClientUpdate":
+        """Return a copy of this update carrying different parameters."""
+        return ClientUpdate(
+            client_id=self.client_id,
+            parameters=np.asarray(parameters, dtype=np.float64),
+            num_samples=self.num_samples,
+            train_loss=self.train_loss,
+            val_accuracy=self.val_accuracy,
+            is_malicious=self.is_malicious,
+            metadata=dict(self.metadata),
+        )
+
+
+class FLClient:
+    """A federated client owning a local data shard and a scratch model.
+
+    Parameters
+    ----------
+    dataset:
+        The client's :class:`~repro.datasets.federated.ClientDataset`.
+    model_factory:
+        Zero-argument callable building a fresh model instance; called lazily
+        the first time the client trains (each client keeps one scratch model
+        and re-loads the global parameters into it every round).
+    rng:
+        The client's private generator (mini-batch shuffling).
+    """
+
+    def __init__(
+        self,
+        dataset: ClientDataset,
+        model_factory: Callable[[], Module],
+        rng: np.random.Generator,
+    ) -> None:
+        self.dataset = dataset
+        self.client_id = int(dataset.client_id)
+        self._model_factory = model_factory
+        self._model: Module | None = None
+        self.rng = rng
+        self.rounds_participated = 0
+        self.total_reward = 0.0
+
+    # -- model management ----------------------------------------------------
+    @property
+    def model(self) -> Module:
+        """The client's scratch model (created on first use)."""
+        if self._model is None:
+            self._model = self._model_factory()
+        return self._model
+
+    @property
+    def num_samples(self) -> int:
+        """Local training-set size |D_i|."""
+        return self.dataset.num_samples
+
+    # -- Procedure I: local learning and update -------------------------------
+    def local_update(
+        self,
+        global_parameters: np.ndarray,
+        config: LocalTrainingConfig,
+    ) -> ClientUpdate:
+        """Run ``E`` epochs of mini-batch SGD starting from ``global_parameters``.
+
+        Implements Algorithm 1 lines 6-11 (and, when ``config.proximal_mu > 0``,
+        the FedProx local objective).  Returns the client's
+        :class:`ClientUpdate`.
+        """
+        model = self.model
+        set_flat_parameters(model, global_parameters)
+        model.train()
+        loss_fn = SoftmaxCrossEntropyLoss()
+        optimizer = SGD(
+            model.parameters(),
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        global_ref = np.asarray(global_parameters, dtype=np.float64)
+
+        batches = BatchIterator(
+            self.dataset.images,
+            self.dataset.labels,
+            config.batch_size,
+            rng=self.rng,
+            shuffle=True,
+        )
+
+        losses: list[float] = []
+        params = list(model.parameters())
+        # Pre-compute the per-parameter slices of the global reference vector so
+        # the proximal-gradient term can be added without re-flattening.
+        offsets: list[tuple[int, int]] = []
+        cursor = 0
+        for p in params:
+            offsets.append((cursor, cursor + p.size))
+            cursor += p.size
+
+        for _epoch in range(config.epochs):
+            for x_batch, y_batch in batches.epoch():
+                optimizer.zero_grad()
+                logits = model.forward(x_batch)
+                loss = loss_fn.forward(logits, y_batch)
+                model.backward(loss_fn.backward())
+                if config.proximal_mu > 0.0:
+                    # FedProx: add mu * (w - w_global) to each parameter gradient.
+                    for p, (lo, hi) in zip(params, offsets):
+                        p.grad += config.proximal_mu * (
+                            p.value - global_ref[lo:hi].reshape(p.shape)
+                        )
+                optimizer.step()
+                losses.append(loss)
+
+        self.rounds_participated += 1
+        updated = get_flat_parameters(model)
+        val_acc = self.evaluate(updated)
+        return ClientUpdate(
+            client_id=self.client_id,
+            parameters=updated,
+            num_samples=self.num_samples,
+            train_loss=float(np.mean(losses)) if losses else 0.0,
+            val_accuracy=val_acc,
+        )
+
+    def evaluate(self, parameters: np.ndarray) -> float:
+        """Accuracy of ``parameters`` on the client's local verification split."""
+        model = self.model
+        set_flat_parameters(model, parameters)
+        model.eval()
+        logits = model.forward(self.dataset.val_images)
+        return accuracy(logits, self.dataset.val_labels)
+
+    def grant_reward(self, amount: float) -> float:
+        """Credit a reward issued by the incentive mechanism; returns the new total."""
+        self.total_reward += float(amount)
+        return self.total_reward

@@ -1,0 +1,152 @@
+"""FedAvg baseline trainer (McMahan et al., 2017).
+
+The baseline the paper labels "FedAvg": random client selection, local
+mini-batch SGD, and central aggregation.  The per-round delay is sampled from
+the shared :class:`~repro.sim.delay.DelayModel` (local training + upload +
+server aggregation — no ledger costs), so the delay comparisons of Figures 4a,
+5a, 6a and 7a pit all systems against the same timing substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.federated import FederatedDataset
+from repro.fl.client import FLClient, LocalTrainingConfig
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.selection import RandomSelector
+from repro.fl.server import CentralServer
+from repro.nn.models import build_model
+from repro.nn.module import Module
+from repro.sim.delay import DelayModel, DelayParameters
+from repro.utils.rng import new_rng
+from repro.utils.timer import SimulatedClock
+from repro.utils.validation import check_probability
+
+__all__ = ["FedAvgConfig", "FedAvgTrainer"]
+
+
+@dataclass(frozen=True)
+class FedAvgConfig:
+    """Configuration of a FedAvg run (defaults follow the paper's Section 5.1)."""
+
+    num_rounds: int = 100
+    participation_fraction: float = 0.1
+    local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
+    aggregation: str = "simple"
+    model_name: str = "mlp"
+    hidden_sizes: tuple[int, ...] = (64,)
+    delay_params: DelayParameters = field(default_factory=DelayParameters)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_rounds <= 0:
+            raise ValueError(f"num_rounds must be positive, got {self.num_rounds}")
+        check_probability("participation_fraction", self.participation_fraction)
+
+
+class FedAvgTrainer:
+    """Runs federated averaging over a :class:`~repro.datasets.federated.FederatedDataset`."""
+
+    label = "fedavg"
+
+    def __init__(self, dataset: FederatedDataset, config: FedAvgConfig) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.selector = RandomSelector(config.participation_fraction)
+        self.delay_model = DelayModel(config.delay_params, new_rng(config.seed, self.label, "delay"))
+        self._selection_rng = new_rng(config.seed, self.label, "selection")
+
+        input_dim = int(dataset.clients[0].images.shape[1])
+        num_classes = int(
+            max(int(c.labels.max(initial=0)) for c in dataset.clients) + 1
+        )
+        num_classes = max(num_classes, 10)
+        self._model_factory: Callable[[], Module] = lambda: build_model(
+            config.model_name,
+            input_dim,
+            num_classes,
+            new_rng(config.seed, self.label, "model-init"),
+            hidden_sizes=config.hidden_sizes,
+        )
+        self.server = CentralServer(self._model_factory, aggregation=config.aggregation)
+        self.clients = [
+            FLClient(
+                shard,
+                self._model_factory,
+                new_rng(config.seed, self.label, "client", shard.client_id),
+            )
+            for shard in dataset.clients
+        ]
+
+    # ------------------------------------------------------------------
+    def _local_config(self) -> LocalTrainingConfig:
+        """The local-update configuration used for every client (hook for FedProx)."""
+        return self.config.local
+
+    def _post_process_updates(self, updates, rng: np.random.Generator):
+        """Hook for subclasses (FedProx drops a fraction of updates here)."""
+        return updates
+
+    def run_round(self, round_index: int, clock: SimulatedClock) -> RoundRecord:
+        """Execute one communication round and return its record."""
+        selected = self.selector.select(len(self.clients), self._selection_rng)
+        local_cfg = self._local_config()
+        updates = [
+            self.clients[int(cid)].local_update(self.server.global_parameters, local_cfg)
+            for cid in selected
+        ]
+        updates = self._post_process_updates(updates, self._selection_rng)
+        if not updates:
+            # All selected clients were dropped; keep the previous global model.
+            updates = []
+            avg_acc = self.server.evaluate(self.dataset.test_images, self.dataset.test_labels)
+            train_loss = 0.0
+        else:
+            self.server.aggregate(updates)
+            # Average verification accuracy of the *new global model* across the
+            # round's participants -- the same metric the FAIR-BFL trainer uses,
+            # so the accuracy comparisons of Figs. 4b/5b/7b are apples-to-apples.
+            avg_acc = float(
+                np.mean(
+                    [
+                        self.clients[int(cid)].evaluate(self.server.global_parameters)
+                        for cid in selected
+                    ]
+                )
+            )
+            train_loss = float(np.mean([u.train_loss for u in updates]))
+
+        sizes = [self.clients[int(cid)].num_samples for cid in selected]
+        batches_per_epoch = float(np.mean([np.ceil(s / local_cfg.batch_size) for s in sizes]))
+        breakdown = self.delay_model.fl_round(
+            num_participants=len(selected),
+            batches_per_epoch=batches_per_epoch,
+            epochs=local_cfg.epochs,
+        )
+        clock.advance(breakdown.total)
+        return RoundRecord(
+            round_index=round_index,
+            delay=breakdown.total,
+            accuracy=avg_acc,
+            train_loss=train_loss,
+            elapsed_time=clock.now,
+            participants=[int(c) for c in selected],
+            extras={"delay_breakdown": breakdown.as_dict()},
+        )
+
+    def run(self, *, num_rounds: int | None = None) -> TrainingHistory:
+        """Run the configured number of rounds and return the history."""
+        rounds = self.config.num_rounds if num_rounds is None else int(num_rounds)
+        clock = SimulatedClock()
+        history = TrainingHistory(label=self.label)
+        for r in range(rounds):
+            history.append(self.run_round(r, clock))
+        return history
+
+    def test_accuracy(self) -> float:
+        """Accuracy of the current global model on the held-out global test set."""
+        return self.server.evaluate(self.dataset.test_images, self.dataset.test_labels)

@@ -1,0 +1,134 @@
+"""Round-by-round training history.
+
+Every trainer (FAIR-BFL, FedAvg, FedProx, the pure-blockchain baseline)
+appends one :class:`RoundRecord` per communication round; the benchmark
+harness turns histories into the series plotted in the paper's figures
+(average delay per round, average accuracy versus elapsed time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundRecord", "TrainingHistory"]
+
+
+@dataclass
+class RoundRecord:
+    """Measurements of one communication round.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based round number.
+    delay:
+        Simulated duration of the round in seconds (d_i of Section 5.1).
+    accuracy:
+        Average verification accuracy across participating clients (acc of
+        Section 5.1).
+    train_loss:
+        Mean local training loss across participating clients.
+    elapsed_time:
+        Cumulative simulated time at the *end* of this round (the x-axis of
+        the accuracy-vs-time figures).
+    participants:
+        Indices of the clients that uploaded updates this round.
+    discarded:
+        Indices discarded by the incentive mechanism (empty for baselines).
+    attackers:
+        Indices designated malicious this round (empty when attacks are off).
+    rewards:
+        Mapping of client index to the reward issued this round.
+    extras:
+        Free-form per-round diagnostics (e.g. delay decomposition).
+    """
+
+    round_index: int
+    delay: float
+    accuracy: float
+    train_loss: float = 0.0
+    elapsed_time: float = 0.0
+    participants: list[int] = field(default_factory=list)
+    discarded: list[int] = field(default_factory=list)
+    attackers: list[int] = field(default_factory=list)
+    rewards: dict[int, float] = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Ordered collection of :class:`RoundRecord` with summary helpers."""
+
+    label: str = "run"
+    rounds: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        """Append a record; round indices must be strictly increasing."""
+        if self.rounds and record.round_index <= self.rounds[-1].round_index:
+            raise ValueError(
+                f"round_index must increase; got {record.round_index} after "
+                f"{self.rounds[-1].round_index}"
+            )
+        self.rounds.append(record)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    # -- series used by the figures -----------------------------------------
+    @property
+    def delays(self) -> np.ndarray:
+        """Per-round delay d_i."""
+        return np.array([r.delay for r in self.rounds], dtype=np.float64)
+
+    @property
+    def accuracies(self) -> np.ndarray:
+        """Per-round average accuracy."""
+        return np.array([r.accuracy for r in self.rounds], dtype=np.float64)
+
+    @property
+    def elapsed_times(self) -> np.ndarray:
+        """Cumulative simulated time at the end of each round."""
+        return np.array([r.elapsed_time for r in self.rounds], dtype=np.float64)
+
+    def average_delay(self) -> float:
+        """The paper's average delay Σ d_i / r."""
+        return float(self.delays.mean()) if self.rounds else 0.0
+
+    def running_average_delay(self) -> np.ndarray:
+        """Running mean of the per-round delay (the y-axis of Figs. 4a / 7a)."""
+        if not self.rounds:
+            return np.zeros(0, dtype=np.float64)
+        d = self.delays
+        return np.cumsum(d) / np.arange(1, d.shape[0] + 1)
+
+    def average_accuracy(self) -> float:
+        """The paper's average accuracy Σ acc_i / n over all recorded rounds."""
+        return float(self.accuracies.mean()) if self.rounds else 0.0
+
+    def final_accuracy(self, window: int = 5) -> float:
+        """Mean accuracy over the last ``window`` rounds (converged accuracy)."""
+        if not self.rounds:
+            return 0.0
+        window = max(1, min(window, len(self.rounds)))
+        return float(self.accuracies[-window:].mean())
+
+    def accuracy_vs_time(self) -> tuple[np.ndarray, np.ndarray]:
+        """(elapsed_time, accuracy) series for the accuracy-vs-time figures."""
+        return self.elapsed_times, self.accuracies
+
+    def time_to_accuracy(self, threshold: float) -> float | None:
+        """First elapsed time at which the accuracy reaches ``threshold`` (None if never)."""
+        for record in self.rounds:
+            if record.accuracy >= threshold:
+                return record.elapsed_time
+        return None
+
+    def total_rewards(self) -> dict[int, float]:
+        """Total reward per client accumulated over the run."""
+        totals: dict[int, float] = {}
+        for record in self.rounds:
+            for client, amount in record.rewards.items():
+                totals[client] = totals.get(client, 0.0) + float(amount)
+        return totals

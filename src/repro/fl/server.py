@@ -1,0 +1,72 @@
+"""Central parameter server for the FL baselines.
+
+FedAvg and FedProx retain the conventional single-server topology the paper
+contrasts against (its single-point-of-failure motivates BFL in the first
+place).  The server holds the global model parameters, collects client
+updates, aggregates them, and redistributes the result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.fl.aggregation import simple_average, weighted_average
+from repro.fl.client import ClientUpdate
+from repro.nn.metrics import accuracy
+from repro.nn.module import Module
+from repro.nn.parameters import get_flat_parameters, set_flat_parameters
+
+__all__ = ["CentralServer"]
+
+
+class CentralServer:
+    """The centralised aggregator used by FedAvg / FedProx.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable building the global model; the server keeps one
+        instance for parameter storage and test-set evaluation.
+    aggregation:
+        ``"simple"`` (unweighted mean) or ``"samples"`` (weight by each
+        client's reported sample count, classic FedAvg).
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        *,
+        aggregation: str = "simple",
+    ) -> None:
+        if aggregation not in {"simple", "samples"}:
+            raise ValueError(
+                f"aggregation must be 'simple' or 'samples', got {aggregation!r}"
+            )
+        self.model = model_factory()
+        self.aggregation = aggregation
+        self.global_parameters = get_flat_parameters(self.model)
+        self.round_count = 0
+
+    def aggregate(self, updates: list[ClientUpdate]) -> np.ndarray:
+        """Aggregate the round's client updates into new global parameters."""
+        if not updates:
+            raise ValueError("cannot aggregate an empty list of client updates")
+        matrix = np.stack([u.parameters for u in updates], axis=0)
+        if self.aggregation == "simple":
+            new_global = simple_average(matrix)
+        else:
+            weights = np.array([u.num_samples for u in updates], dtype=np.float64)
+            new_global = weighted_average(matrix, weights)
+        self.global_parameters = new_global
+        set_flat_parameters(self.model, new_global)
+        self.round_count += 1
+        return new_global
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy of the current global parameters on a held-out test set."""
+        set_flat_parameters(self.model, self.global_parameters)
+        self.model.eval()
+        logits = self.model.forward(images)
+        return accuracy(logits, labels)

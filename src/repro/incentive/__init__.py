@@ -1,0 +1,55 @@
+"""Contribution-based incentive mechanism (the paper's Algorithm 2).
+
+The winning miner clusters the round's gradient set (global update included),
+labels clients in the global update's cluster as high-contribution and the
+rest as low-contribution, computes cosine-distance contribution scores,
+apportions a base reward, and applies a strategy (keep everything or discard
+the low-contributing gradients and re-aggregate).
+
+Modules
+-------
+* :mod:`repro.incentive.distance` — cosine distance utilities;
+* :mod:`repro.incentive.clustering` — DBSCAN (the paper's default) and KMeans
+  implemented from scratch;
+* :mod:`repro.incentive.contribution` — Algorithm 2 itself;
+* :mod:`repro.incentive.rewards` — reward apportioning and bookkeeping;
+* :mod:`repro.incentive.strategies` — the keep / discard strategies.
+"""
+
+from repro.incentive.clustering import ClusteringResult, DBSCAN, KMeans, make_clusterer
+from repro.incentive.contribution import (
+    ContributionConfig,
+    ContributionReport,
+    identify_contributions,
+)
+from repro.incentive.distance import cosine_distance_to_reference
+from repro.incentive.fairness import (
+    fairness_report,
+    gini_coefficient,
+    jains_index,
+    reward_contribution_correlation,
+)
+from repro.incentive.rewards import RewardEntry, RewardLedger, apportion_rewards
+from repro.incentive.strategies import DiscardStrategy, KeepAllStrategy, Strategy, make_strategy
+
+__all__ = [
+    "ClusteringResult",
+    "DBSCAN",
+    "KMeans",
+    "make_clusterer",
+    "ContributionConfig",
+    "ContributionReport",
+    "identify_contributions",
+    "cosine_distance_to_reference",
+    "fairness_report",
+    "gini_coefficient",
+    "jains_index",
+    "reward_contribution_correlation",
+    "RewardEntry",
+    "RewardLedger",
+    "apportion_rewards",
+    "DiscardStrategy",
+    "KeepAllStrategy",
+    "Strategy",
+    "make_strategy",
+]

@@ -1,0 +1,200 @@
+"""Algorithm 2: Client's Contribution Identification.
+
+Given the round's gradient set ``W^k_{r+1}`` (one uploaded vector per
+participating client) and the aggregated global update ``w_{r+1}``, the
+algorithm:
+
+1. clusters ``W ∪ {w_{r+1}}`` with the configured clustering algorithm
+   (DBSCAN by default);
+2. labels clients that share the global update's cluster as *high
+   contribution* and everyone else as *low contribution*;
+3. scores each high contributor by the cosine distance θ_i to the global
+   update and apportions the round's base reward as ``θ_i / Σθ_k · base``;
+4. hands the low-contribution set to the configured strategy (keep or
+   discard).
+
+One practical detail the paper leaves implicit: with DBSCAN the global update
+itself may be labelled as noise (no cluster dense enough around it).  In that
+case we fall back to treating the *largest* cluster as the high-contribution
+group — the behaviour that keeps the mechanism usable rather than rejecting
+every client — and record the fallback in the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.incentive.clustering import ClusteringResult, DBSCAN, NOISE_LABEL, make_clusterer
+from repro.incentive.distance import cosine_distance_to_reference
+from repro.incentive.rewards import RewardEntry, apportion_rewards
+
+__all__ = ["ContributionConfig", "ContributionReport", "identify_contributions"]
+
+
+@dataclass(frozen=True)
+class ContributionConfig:
+    """Configuration of Algorithm 2.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"dbscan"`` (paper default) or ``"kmeans"``.
+    eps, min_samples:
+        DBSCAN parameters (cosine-distance radius and core-point threshold).
+    num_clusters:
+        KMeans cluster count (ignored for DBSCAN).
+    metric:
+        Distance metric for clustering.
+    base_reward:
+        The per-round base reward split among high contributors.
+    """
+
+    algorithm: str = "dbscan"
+    eps: float = 0.7
+    min_samples: int = 3
+    num_clusters: int = 2
+    metric: str = "cosine"
+    base_reward: float = 1.0
+    seed: int = 0
+
+    def make_clusterer(self):
+        """Instantiate the configured clustering algorithm."""
+        return make_clusterer(
+            self.algorithm,
+            eps=self.eps,
+            min_samples=self.min_samples,
+            num_clusters=self.num_clusters,
+            metric=self.metric,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class ContributionReport:
+    """The outcome of running Algorithm 2 on one round's gradient set.
+
+    Attributes
+    ----------
+    high_contributors / low_contributors:
+        Client IDs labelled high / low contribution.
+    thetas:
+        Mapping from high-contributor client ID to its cosine distance θ_i.
+    reward_list:
+        The round's ⟨client, reward⟩ entries (high contributors only).
+    clustering:
+        The raw clustering result over ``W ∪ {w_{r+1}}`` (the global update is
+        the final row).
+    used_fallback:
+        True when the global update was DBSCAN noise and the largest cluster
+        was used as the high-contribution group instead.
+    """
+
+    high_contributors: list[int]
+    low_contributors: list[int]
+    thetas: dict[int, float]
+    reward_list: list[RewardEntry]
+    clustering: ClusteringResult
+    used_fallback: bool = False
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def all_clients(self) -> list[int]:
+        """Every client considered this round, high first then low."""
+        return list(self.high_contributors) + list(self.low_contributors)
+
+    def is_high(self, client_id: int) -> bool:
+        """True when ``client_id`` was labelled high contribution."""
+        return int(client_id) in set(self.high_contributors)
+
+
+def identify_contributions(
+    updates: np.ndarray,
+    client_ids: list[int] | np.ndarray,
+    global_update: np.ndarray,
+    config: ContributionConfig | None = None,
+) -> ContributionReport:
+    """Run Algorithm 2 on one round's uploaded vectors.
+
+    Parameters
+    ----------
+    updates:
+        ``(k, d)`` matrix of the uploaded vectors (one row per client).
+    client_ids:
+        Length-``k`` list of the owning client IDs (row-aligned with ``updates``).
+    global_update:
+        The aggregated global vector ``w_{r+1}`` (computed with simple
+        averaging before this call, per Algorithm 1 line 24).
+    config:
+        Clustering / reward configuration (defaults to the paper's DBSCAN
+        setup).
+
+    Returns
+    -------
+    ContributionReport
+    """
+    cfg = config or ContributionConfig()
+    m = np.asarray(updates, dtype=np.float64)
+    ids = [int(c) for c in np.asarray(client_ids).ravel()]
+    g = np.asarray(global_update, dtype=np.float64).ravel()
+    if m.ndim != 2 or m.shape[0] == 0:
+        raise ValueError(f"expected a non-empty (k, d) update matrix, got shape {m.shape}")
+    if len(ids) != m.shape[0]:
+        raise ValueError(
+            f"client_ids must align with updates rows, got {len(ids)} ids for {m.shape[0]} rows"
+        )
+    if m.shape[1] != g.shape[0]:
+        raise ValueError(
+            f"global_update dimension {g.shape[0]} does not match updates dimension {m.shape[1]}"
+        )
+
+    # Cluster W ∪ {w_{r+1}}; the global update is appended as the last row
+    # (Algorithm 1 line 25 / Algorithm 2 line 1).
+    stacked = np.vstack([m, g[None, :]])
+    clusterer = cfg.make_clusterer()
+    clustering = clusterer.fit(stacked)
+    global_label = clustering.cluster_of(stacked.shape[0] - 1)
+
+    used_fallback = False
+    if global_label == NOISE_LABEL:
+        # The global update sits in no dense cluster; fall back to the largest
+        # client cluster so the mechanism still designates a high group.
+        client_labels = clustering.labels[:-1]
+        non_noise = client_labels[client_labels != NOISE_LABEL]
+        if non_noise.size > 0:
+            values, counts = np.unique(non_noise, return_counts=True)
+            global_label = int(values[np.argmax(counts)])
+            used_fallback = True
+        else:
+            # Everything is noise: treat every client as high contribution
+            # (equivalent to falling back to simple averaging and equal reward).
+            global_label = NOISE_LABEL
+            used_fallback = True
+
+    client_labels = clustering.labels[:-1]
+    if global_label == NOISE_LABEL and used_fallback:
+        high_mask = np.ones(len(ids), dtype=bool)
+    else:
+        high_mask = client_labels == global_label
+
+    high_ids = [cid for cid, keep in zip(ids, high_mask) if keep]
+    low_ids = [cid for cid, keep in zip(ids, high_mask) if not keep]
+
+    thetas_all = cosine_distance_to_reference(m, g)
+    thetas = {cid: float(t) for cid, t, keep in zip(ids, thetas_all, high_mask) if keep}
+    reward_list = apportion_rewards(
+        high_ids,
+        np.array([thetas[c] for c in high_ids], dtype=np.float64),
+        base_reward=cfg.base_reward,
+    )
+
+    return ContributionReport(
+        high_contributors=high_ids,
+        low_contributors=low_ids,
+        thetas=thetas,
+        reward_list=reward_list,
+        clustering=clustering,
+        used_fallback=used_fallback,
+        extras={"global_cluster_label": int(global_label)},
+    )

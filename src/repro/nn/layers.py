@@ -1,0 +1,220 @@
+"""Layers: Linear, activations, Dropout, Flatten, Softmax.
+
+Every layer implements the ``forward``/``backward`` contract of
+:class:`repro.nn.module.Module`.  Caches required for the backward pass are
+stored on the layer between the two calls (single-threaded per client, which
+matches the sequential per-client training loop of Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import he_init, xavier_init, zeros_init
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Linear", "ReLU", "Tanh", "Sigmoid", "Softmax", "Dropout", "Flatten"]
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    rng:
+        Generator used for weight initialisation.
+    init:
+        ``"xavier"`` (default, good before tanh/softmax) or ``"he"`` (before
+        ReLU).
+    bias:
+        Whether to include the additive bias term.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        *,
+        init: str = "xavier",
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"in_features and out_features must be positive, got "
+                f"({in_features}, {out_features})"
+            )
+        if init == "xavier":
+            w = xavier_init((in_features, out_features), rng)
+        elif init == "he":
+            w = he_init((in_features, out_features), rng)
+        else:
+            raise ValueError(f"unknown init scheme {init!r}; expected 'xavier' or 'he'")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = self.register_parameter("weight", Parameter(w, "weight"))
+        self.bias: Parameter | None = None
+        if bias:
+            self.bias = self.register_parameter(
+                "bias", Parameter(zeros_init((out_features,)), "bias")
+            )
+        self._input_cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        self._input_cache = x
+        out = x @ self.weight.value
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_cache is None:
+            raise RuntimeError("backward called before forward on Linear layer")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        x = self._input_cache
+        self.weight.grad += x.T @ grad_output
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+
+class ReLU(Module):
+    """Rectified linear unit ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward on ReLU layer")
+        return np.where(self._mask, np.asarray(grad_output, dtype=np.float64), 0.0)
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(np.asarray(x, dtype=np.float64))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward on Tanh layer")
+        return np.asarray(grad_output, dtype=np.float64) * (1.0 - self._output**2)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        # Numerically stable piecewise formulation.
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        exp_x = np.exp(x[~pos])
+        out[~pos] = exp_x / (1.0 + exp_x)
+        self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward on Sigmoid layer")
+        s = self._output
+        return np.asarray(grad_output, dtype=np.float64) * s * (1.0 - s)
+
+
+class Softmax(Module):
+    """Row-wise softmax.
+
+    Normally the fused :class:`repro.nn.losses.SoftmaxCrossEntropyLoss` is
+    preferred during training; this standalone layer exists for inference-time
+    probability outputs and for models that need explicit probabilities.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        shifted = x - x.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        self._output = exp / exp.sum(axis=1, keepdims=True)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward on Softmax layer")
+        s = self._output
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        # Jacobian-vector product per row: s * (g - sum(g * s)).
+        dot = np.sum(grad_output * s, axis=1, keepdims=True)
+        return s * (grad_output - dot)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in evaluation mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not (0.0 <= rate < 1.0):
+            raise ValueError(f"dropout rate must lie in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions into one."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward on Flatten layer")
+        return np.asarray(grad_output, dtype=np.float64).reshape(self._input_shape)

@@ -1,0 +1,95 @@
+"""Reference model architectures for the MNIST-style task.
+
+The paper does not spell out the exact MNIST model architecture; like most of
+the BFL literature it uses a small fully-connected classifier.  We provide two
+standard choices plus a factory so experiments can swap the architecture
+without touching the orchestrator:
+
+* :class:`LogisticRegressionModel` — single linear layer (convex objective,
+  matches the strongly-convex assumptions of Theorem 3.1 when regularised);
+* :class:`MLPClassifier` — one or more hidden ReLU layers (the default for the
+  accuracy figures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Flatten, Linear, ReLU
+from repro.nn.module import Module, Sequential
+
+__all__ = ["LogisticRegressionModel", "MLPClassifier", "build_model"]
+
+
+class LogisticRegressionModel(Sequential):
+    """Multinomial logistic regression: ``Flatten -> Linear``."""
+
+    def __init__(self, input_dim: int, num_classes: int, rng: np.random.Generator) -> None:
+        if input_dim <= 0 or num_classes <= 1:
+            raise ValueError(
+                f"input_dim must be positive and num_classes > 1, got "
+                f"({input_dim}, {num_classes})"
+            )
+        super().__init__(Flatten(), Linear(input_dim, num_classes, rng, init="xavier"))
+        self.input_dim = int(input_dim)
+        self.num_classes = int(num_classes)
+
+
+class MLPClassifier(Sequential):
+    """Multi-layer perceptron with ReLU hidden layers."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        rng: np.random.Generator,
+        *,
+        hidden_sizes: tuple[int, ...] = (64,),
+    ) -> None:
+        if input_dim <= 0 or num_classes <= 1:
+            raise ValueError(
+                f"input_dim must be positive and num_classes > 1, got "
+                f"({input_dim}, {num_classes})"
+            )
+        if any(h <= 0 for h in hidden_sizes):
+            raise ValueError(f"hidden sizes must all be positive, got {hidden_sizes}")
+        layers: list[Module] = [Flatten()]
+        prev = int(input_dim)
+        for h in hidden_sizes:
+            layers.append(Linear(prev, int(h), rng, init="he"))
+            layers.append(ReLU())
+            prev = int(h)
+        layers.append(Linear(prev, int(num_classes), rng, init="xavier"))
+        super().__init__(*layers)
+        self.input_dim = int(input_dim)
+        self.num_classes = int(num_classes)
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+
+
+def build_model(
+    name: str,
+    input_dim: int,
+    num_classes: int,
+    rng: np.random.Generator,
+    *,
+    hidden_sizes: tuple[int, ...] = (64,),
+) -> Module:
+    """Factory resolving a model architecture by name.
+
+    Parameters
+    ----------
+    name:
+        ``"logreg"`` or ``"mlp"``.
+    input_dim, num_classes:
+        Task dimensions.
+    rng:
+        Generator used to initialise weights.
+    hidden_sizes:
+        Hidden layer widths (MLP only).
+    """
+    key = name.strip().lower()
+    if key in {"logreg", "logistic", "logistic_regression"}:
+        return LogisticRegressionModel(input_dim, num_classes, rng)
+    if key in {"mlp", "mlp_classifier"}:
+        return MLPClassifier(input_dim, num_classes, rng, hidden_sizes=hidden_sizes)
+    raise ValueError(f"unknown model name {name!r}; expected 'logreg' or 'mlp'")

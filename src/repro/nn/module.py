@@ -1,0 +1,166 @@
+"""Module system: parameters, base module, and sequential containers.
+
+The design mirrors the familiar ``torch.nn.Module`` contract at the small
+scale this reproduction needs:
+
+* a :class:`Parameter` couples a value array with its gradient accumulator;
+* a :class:`Module` exposes ``forward``/``backward``, enumerates its
+  parameters (recursively through registered sub-modules), and supports
+  train/eval modes (used by :class:`repro.nn.layers.Dropout`);
+* a :class:`Sequential` chains modules and propagates gradients in reverse.
+
+``backward`` takes the gradient of the loss with respect to the module output
+and returns the gradient with respect to the module input, accumulating
+parameter gradients as a side effect — exactly what the per-client SGD loop in
+Algorithm 1 needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter:
+    """A trainable tensor together with its gradient accumulator."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.name = str(name)
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.value.shape)
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator in place."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training: bool = True
+
+    # -- registration -----------------------------------------------------
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        """Register ``param`` under ``name`` and return it."""
+        if not isinstance(param, Parameter):
+            raise TypeError(f"expected Parameter, got {type(param).__name__}")
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        """Register a child module under ``name`` and return it."""
+        if not isinstance(module, Module):
+            raise TypeError(f"expected Module, got {type(module).__name__}")
+        self._modules[name] = module
+        return module
+
+    # -- traversal --------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its children, depth-first."""
+        yield from self._parameters.values()
+        for child in self._modules.values():
+            yield from child.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # -- gradient / mode management ----------------------------------------
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient of this module tree."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch this module tree to training mode."""
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module tree to evaluation mode."""
+        for m in self.modules():
+            m.training = False
+        return self
+
+    # -- computation --------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the module output for a batch ``x`` (batch-first)."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and return the gradient w.r.t. the input."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order.
+
+    The forward pass caches nothing on the container itself; each layer caches
+    whatever it needs to compute its own backward pass, which keeps memory use
+    proportional to the layer count and batch size.
+    """
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers: list[Module] = []
+        for i, layer in enumerate(layers):
+            self.layers.append(self.register_module(f"layer{i}", layer))
+
+    def append(self, layer: Module) -> "Sequential":
+        """Append one more layer to the chain."""
+        self.layers.append(self.register_module(f"layer{len(self.layers)}", layer))
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = np.asarray(grad_output, dtype=np.float64)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,28 @@
+"""System/timing simulation.
+
+The paper's latency results are driven by five delay components
+(Section 4.6): local training T_local, gradient upload T_up, miner exchange
+T_ex, global-update computation T_gl, and block mining/consensus T_bl.  This
+package provides:
+
+* :mod:`repro.sim.delay` — stochastic models for each component and their
+  composition into per-round delays for FAIR-BFL, FedAvg/FedProx, and the
+  vanilla blockchain;
+* :mod:`repro.sim.forking` — fork-frequency/merge-cost accounting reused from
+  :mod:`repro.blockchain.consensus`;
+* :mod:`repro.sim.vanilla_blockchain` — the vanilla-blockchain baseline used
+  in Figures 4a, 6a, 6b and 7a: every local gradient becomes an on-chain
+  transaction, blocks have a fixed size, and rounds only finish when all
+  transactions are recorded.
+"""
+
+from repro.sim.delay import DelayModel, DelayParameters, RoundDelayBreakdown
+from repro.sim.vanilla_blockchain import VanillaBlockchainConfig, VanillaBlockchainSimulator
+
+__all__ = [
+    "DelayModel",
+    "DelayParameters",
+    "RoundDelayBreakdown",
+    "VanillaBlockchainConfig",
+    "VanillaBlockchainSimulator",
+]

@@ -1,0 +1,180 @@
+"""The vanilla-blockchain baseline.
+
+"Blockchain" in the paper's comparisons (Figs. 4a, 6a, 6b, 7a) is the
+un-redesigned ledger: every worker's update becomes an on-chain transaction,
+blocks have a bounded size so transactions queue across blocks, every mined
+block risks a fork whose merge cost grows with the miner count, and the round
+only completes once all of the round's transactions are recorded.
+
+The simulator below actually exercises the ledger machinery — transactions are
+built and (optionally) RSA-signed, queued in a :class:`~repro.blockchain.mempool.Mempool`,
+packed into blocks, linked and appended to every miner's replica — while the
+*timing* of each step is drawn from :class:`~repro.sim.delay.DelayModel`, so
+the baseline is both functionally real and fast enough to sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.miner import Miner
+from repro.blockchain.transaction import make_gradient_transaction
+from repro.crypto.keystore import KeyStore
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.sim.delay import DelayModel, DelayParameters
+from repro.utils.rng import new_rng
+from repro.utils.timer import SimulatedClock
+
+__all__ = ["VanillaBlockchainConfig", "VanillaBlockchainSimulator"]
+
+
+@dataclass(frozen=True)
+class VanillaBlockchainConfig:
+    """Configuration of the vanilla-blockchain baseline run.
+
+    Attributes
+    ----------
+    num_workers:
+        Number of transaction-producing workers (the paper's n).
+    num_miners:
+        Number of miners competing for each block (the paper's m).
+    num_rounds:
+        Number of "communication rounds"; one round means every worker submits
+        one transaction and the chain drains the resulting queue.
+    payload_elements:
+        Number of float64 elements per worker transaction (a gradient-sized
+        payload; only the size matters for queueing).
+    verify_signatures:
+        Whether transactions are RSA-signed and verified (exercises the full
+        Figure 2 path; disable for very large sweeps).
+    delay_params:
+        Calibration constants for the timing model.
+    seed:
+        Experiment seed.
+    """
+
+    num_workers: int = 100
+    num_miners: int = 2
+    num_rounds: int = 20
+    payload_elements: int = 32
+    verify_signatures: bool = False
+    delay_params: DelayParameters = field(default_factory=DelayParameters)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {self.num_workers}")
+        if self.num_miners <= 0:
+            raise ValueError(f"num_miners must be positive, got {self.num_miners}")
+        if self.num_rounds <= 0:
+            raise ValueError(f"num_rounds must be positive, got {self.num_rounds}")
+        if self.payload_elements <= 0:
+            raise ValueError(f"payload_elements must be positive, got {self.payload_elements}")
+
+
+class VanillaBlockchainSimulator:
+    """Runs the vanilla-blockchain baseline and records per-round delays."""
+
+    def __init__(self, config: VanillaBlockchainConfig) -> None:
+        self.config = config
+        self.rng = new_rng(config.seed, "vanilla-blockchain")
+        self.delay_model = DelayModel(config.delay_params, new_rng(config.seed, "vb-delay"))
+        self.keystore = KeyStore(seed=config.seed) if config.verify_signatures else None
+        self.worker_ids = [f"worker-{i}" for i in range(config.num_workers)]
+        if self.keystore is not None:
+            for wid in self.worker_ids:
+                self.keystore.register(wid)
+
+        genesis = Block.genesis()
+        self.miners: list[Miner] = []
+        for k in range(config.num_miners):
+            chain = Blockchain(enforce_pow=False)
+            chain.add_genesis(genesis)
+            self.miners.append(
+                Miner(
+                    miner_id=f"miner-{k}",
+                    chain=chain,
+                    keystore=self.keystore,
+                    verify_signatures=config.verify_signatures,
+                )
+            )
+        # The mempool size is expressed in bytes; convert the configured
+        # transactions-per-block capacity using the payload size.
+        tx_bytes = config.payload_elements * 8
+        self.mempool = Mempool(block_size_bytes=tx_bytes * config.delay_params.transactions_per_block)
+        self.total_forks = 0
+
+    # ------------------------------------------------------------------
+    def _make_round_transactions(self, round_index: int) -> list:
+        """Every worker submits one gradient-sized transaction."""
+        txs = []
+        for i, wid in enumerate(self.worker_ids):
+            payload = self.rng.normal(size=self.config.payload_elements)
+            txs.append(
+                make_gradient_transaction(
+                    wid,
+                    round_index,
+                    payload,
+                    keystore=self.keystore,
+                    client_index=i,
+                )
+            )
+        return txs
+
+    def run_round(self, round_index: int, clock: SimulatedClock) -> RoundRecord:
+        """Execute one round: submit all transactions and drain the queue into blocks."""
+        cfg = self.config
+        txs = self._make_round_transactions(round_index)
+        self.mempool.submit_many(txs)
+
+        blocks_this_round = 0
+        leader = self.miners[0]
+        while self.mempool.pending_count > 0:
+            batch = self.mempool.take_block()
+            block = leader.build_block(
+                round_index,
+                batch,
+                timestamp=clock.now,
+                difficulty=1.0,
+            )
+            for miner in self.miners:
+                miner.accept_block(block)
+            blocks_this_round += 1
+            _forks, _merge = self.delay_model.fork_delay(cfg.num_miners)
+            self.total_forks += _forks
+
+        breakdown = self.delay_model.vanilla_blockchain_round(
+            num_transactions=len(txs),
+            num_miners=cfg.num_miners,
+        )
+        clock.advance(breakdown.total)
+        return RoundRecord(
+            round_index=round_index,
+            delay=breakdown.total,
+            accuracy=0.0,
+            elapsed_time=clock.now,
+            participants=list(range(cfg.num_workers)),
+            extras={
+                "delay_breakdown": breakdown.as_dict(),
+                "blocks_mined": blocks_this_round,
+                "chain_height": self.miners[0].chain.height,
+            },
+        )
+
+    def run(self) -> TrainingHistory:
+        """Run all configured rounds and return the per-round history."""
+        clock = SimulatedClock()
+        history = TrainingHistory(label="blockchain")
+        for r in range(self.config.num_rounds):
+            history.append(self.run_round(r, clock))
+        return history
+
+    @property
+    def chain_height(self) -> int:
+        """Current ledger height on the first miner's replica."""
+        return self.miners[0].chain.height

@@ -1,0 +1,52 @@
+"""Shared utilities for the FAIR-BFL reproduction.
+
+This subpackage provides the small, dependency-free building blocks used by
+every other subsystem:
+
+* :mod:`repro.utils.rng` -- deterministic random-number-generator management so
+  that every experiment in the paper can be replayed bit-for-bit.
+* :mod:`repro.utils.vectors` -- flat-vector packing helpers used to move model
+  parameters/gradients between the learning substrate, the incentive
+  mechanism, and the blockchain.
+* :mod:`repro.utils.validation` -- argument-checking helpers with consistent
+  error messages.
+* :mod:`repro.utils.timer` -- simulated-clock and wall-clock timers.
+"""
+
+from repro.utils.rng import RngRegistry, derive_seed, new_rng, spawn_rngs
+from repro.utils.timer import SimulatedClock, WallClockTimer
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+from repro.utils.vectors import (
+    cosine_distance,
+    cosine_similarity,
+    flatten_arrays,
+    l2_distance,
+    l2_norm,
+    unflatten_array,
+)
+
+__all__ = [
+    "RngRegistry",
+    "derive_seed",
+    "new_rng",
+    "spawn_rngs",
+    "SimulatedClock",
+    "WallClockTimer",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "cosine_distance",
+    "cosine_similarity",
+    "flatten_arrays",
+    "l2_distance",
+    "l2_norm",
+    "unflatten_array",
+]

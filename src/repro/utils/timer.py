@@ -1,0 +1,67 @@
+"""Clocks used by the simulation.
+
+FAIR-BFL's evaluation reports both *simulated* delay (driven by the delay
+models of Section 4.6) and elapsed learning time.  The simulation therefore
+keeps its own clock, advanced explicitly by the orchestrator; wall-clock
+measurement is only used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_non_negative
+
+__all__ = ["SimulatedClock", "WallClockTimer"]
+
+
+@dataclass
+class SimulatedClock:
+    """A manually-advanced clock measuring simulated seconds.
+
+    The clock never goes backwards; :meth:`advance` with a negative duration is
+    rejected so that per-round delay accounting cannot silently corrupt the
+    time axis used by the accuracy-vs-time figures (Figs. 4b / 7b).
+    """
+
+    now: float = 0.0
+    _history: list[float] = field(default_factory=list, repr=False)
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time."""
+        seconds = check_non_negative("seconds", seconds)
+        self.now += seconds
+        self._history.append(seconds)
+        return self.now
+
+    def reset(self) -> None:
+        """Reset the clock to zero and clear the recorded increments."""
+        self.now = 0.0
+        self._history.clear()
+
+    @property
+    def increments(self) -> list[float]:
+        """All increments applied so far (a copy)."""
+        return list(self._history)
+
+    @property
+    def total_elapsed(self) -> float:
+        """Total simulated time elapsed (equals ``now`` when starting at 0)."""
+        return float(sum(self._history))
+
+
+class WallClockTimer:
+    """Context-manager measuring wall-clock duration of a code block."""
+
+    def __init__(self) -> None:
+        self.start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "WallClockTimer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.start is not None:
+            self.elapsed = time.perf_counter() - self.start

@@ -1,0 +1,143 @@
+"""Flat-vector packing and distance helpers.
+
+FAIR-BFL moves model state around as flat gradient vectors: clients upload
+them, miners exchange them, Algorithm 2 clusters them, and Equation (1)
+aggregates them.  This module provides the vectorised packing/unpacking and
+distance primitives shared by all of those components.
+
+All functions operate on ``numpy.ndarray`` of ``float64`` and avoid Python
+loops over elements (see the repository HPC guides): distances over a batch of
+vectors are computed with a single matrix product.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "flatten_arrays",
+    "unflatten_array",
+    "l2_norm",
+    "l2_distance",
+    "cosine_similarity",
+    "cosine_distance",
+    "pairwise_cosine_distance",
+    "pairwise_euclidean_distance",
+]
+
+
+def flatten_arrays(arrays: Iterable[np.ndarray]) -> np.ndarray:
+    """Concatenate a sequence of arrays into a single 1-D ``float64`` vector.
+
+    Parameters
+    ----------
+    arrays:
+        Arrays of arbitrary shapes (e.g. per-layer weights and biases).
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D vector holding all elements in iteration order.
+    """
+    chunks = [np.asarray(a, dtype=np.float64).ravel() for a in arrays]
+    if not chunks:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(chunks)
+
+
+def unflatten_array(vector: np.ndarray, shapes: Sequence[tuple[int, ...]]) -> list[np.ndarray]:
+    """Split a flat vector back into arrays with the given ``shapes``.
+
+    Raises
+    ------
+    ValueError
+        If the vector length does not match the total number of elements
+        implied by ``shapes``.
+    """
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    sizes = [int(np.prod(s)) if len(s) else 1 for s in shapes]
+    total = int(sum(sizes))
+    if vector.size != total:
+        raise ValueError(
+            f"vector of length {vector.size} cannot be unflattened into shapes "
+            f"totalling {total} elements"
+        )
+    out: list[np.ndarray] = []
+    offset = 0
+    for shape, size in zip(shapes, sizes):
+        out.append(vector[offset : offset + size].reshape(shape).copy())
+        offset += size
+    return out
+
+
+def l2_norm(vector: np.ndarray) -> float:
+    """Euclidean norm of a vector."""
+    return float(np.linalg.norm(np.asarray(vector, dtype=np.float64)))
+
+
+def l2_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two vectors of equal length."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.linalg.norm(a - b))
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, *, eps: float = 1e-12) -> float:
+    """Cosine similarity in ``[-1, 1]``; zero vectors are treated as orthogonal."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na < eps or nb < eps:
+        return 0.0
+    return float(np.clip(np.dot(a, b) / (na * nb), -1.0, 1.0))
+
+
+def cosine_distance(a: np.ndarray, b: np.ndarray, *, eps: float = 1e-12) -> float:
+    """Cosine distance ``1 - cos(a, b)`` in ``[0, 2]``.
+
+    This is the :math:`\\theta_i` used by Algorithm 2 of the paper ("the larger
+    the θ, the farther the distance").
+    """
+    return 1.0 - cosine_similarity(a, b, eps=eps)
+
+
+def pairwise_cosine_distance(matrix: np.ndarray, *, eps: float = 1e-12) -> np.ndarray:
+    """Pairwise cosine-distance matrix for the rows of ``matrix``.
+
+    Implemented as a single normalised Gram-matrix product (no Python loops),
+    which is the dominant cost in Algorithm 2 at scale.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix of row vectors, got ndim={m.ndim}")
+    norms = np.linalg.norm(m, axis=1, keepdims=True)
+    safe = np.where(norms < eps, 1.0, norms)
+    unit = m / safe
+    sims = np.clip(unit @ unit.T, -1.0, 1.0)
+    # Rows that were (near-)zero vectors are defined as orthogonal to everything
+    # but identical to themselves.
+    zero_mask = (norms.ravel() < eps)
+    if zero_mask.any():
+        sims[zero_mask, :] = 0.0
+        sims[:, zero_mask] = 0.0
+        sims[np.ix_(zero_mask, zero_mask)] = 1.0
+    np.fill_diagonal(sims, 1.0)
+    return 1.0 - sims
+
+
+def pairwise_euclidean_distance(matrix: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean-distance matrix for the rows of ``matrix``."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix of row vectors, got ndim={m.ndim}")
+    sq = np.sum(m * m, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (m @ m.T)
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2)

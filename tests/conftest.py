@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Everything is intentionally tiny (a handful of clients, a few hundred
+synthetic samples, 2-3 communication rounds) so the full suite stays fast
+while still exercising every subsystem end to end.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests without installing the package (src layout).
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.experiment import ExperimentSuite, build_federated_dataset  # noqa: E402
+from repro.datasets.synthetic_mnist import load_synthetic_mnist  # noqa: E402
+from repro.nn.models import MLPClassifier  # noqa: E402
+from repro.utils.rng import new_rng  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic generator for test-local randomness."""
+    return new_rng(1234, "tests")
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small flat synthetic-MNIST dataset (shared, read-only)."""
+    return load_synthetic_mnist(400, seed=7, noise_std=0.3)
+
+
+@pytest.fixture(scope="session")
+def tiny_federated():
+    """A small federated dataset: 6 clients, Dirichlet non-IID."""
+    return build_federated_dataset(
+        num_clients=6, num_samples=400, scheme="dirichlet", seed=7, noise_std=0.3
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_suite() -> ExperimentSuite:
+    """A laptop-scale experiment suite shared across integration tests."""
+    return ExperimentSuite(
+        num_clients=6,
+        num_samples=400,
+        num_rounds=2,
+        participation_fraction=0.5,
+        seed=7,
+    )
+
+
+@pytest.fixture()
+def small_model(rng) -> MLPClassifier:
+    """A small MLP for layer/optimiser tests."""
+    return MLPClassifier(16, 4, rng, hidden_sizes=(8,))
+
+
+def assert_vectors_close(a, b, *, atol=1e-9):
+    """Convenience assertion reused by several test modules."""
+    np.testing.assert_allclose(np.asarray(a), np.asarray(b), atol=atol)

@@ -1,0 +1,222 @@
+"""Tests for miner nodes, the broadcast network, and the consensus layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.consensus import LongestChainConsensus
+from repro.blockchain.miner import Miner
+from repro.blockchain.network import BroadcastNetwork
+from repro.blockchain.transaction import (
+    TransactionType,
+    make_global_update_transaction,
+    make_gradient_transaction,
+)
+from repro.crypto.keystore import KeyStore
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture()
+def keystore():
+    store = KeyStore(seed=0, key_bits=128)
+    for name in ("client-0", "client-1", "client-2", "miner-0", "miner-1"):
+        store.register(name)
+    return store
+
+
+def _miner(miner_id="miner-0", keystore=None, verify=True):
+    chain = Blockchain(enforce_pow=False)
+    chain.add_genesis(Block.genesis())
+    return Miner(miner_id=miner_id, chain=chain, keystore=keystore, verify_signatures=verify)
+
+
+def _upload(sender, keystore, value=1.0, round_index=0, client_index=0):
+    return make_gradient_transaction(
+        sender, round_index, np.full(4, value), keystore=keystore, client_index=client_index
+    )
+
+
+class TestMiner:
+    def test_receive_valid_upload(self, keystore):
+        miner = _miner(keystore=keystore)
+        assert miner.receive_upload(_upload("client-0", keystore))
+        assert miner.gradient_count == 1
+
+    def test_reject_unsigned_upload(self, keystore):
+        miner = _miner(keystore=keystore)
+        assert not miner.receive_upload(_upload("client-0", None))
+        assert miner.rejected_transactions == 1
+
+    def test_reject_unknown_sender(self, keystore):
+        miner = _miner(keystore=keystore)
+        ghost_store = KeyStore(seed=1, key_bits=128)
+        ghost_store.register("ghost")
+        tx = _upload("ghost", ghost_store)
+        assert not miner.receive_upload(tx)
+
+    def test_reject_wrong_transaction_type(self, keystore):
+        miner = _miner(keystore=keystore)
+        tx = make_global_update_transaction("miner-0", 0, np.ones(3), keystore=keystore)
+        assert not miner.receive_upload(tx)
+
+    def test_duplicate_upload_ignored(self, keystore):
+        miner = _miner(keystore=keystore)
+        tx = _upload("client-0", keystore)
+        assert miner.receive_upload(tx)
+        assert not miner.receive_upload(tx)
+        assert miner.gradient_count == 1
+
+    def test_unverified_mode_accepts_unsigned(self):
+        miner = _miner(keystore=None, verify=False)
+        assert miner.receive_upload(_upload("anyone", None))
+
+    def test_merge_gradient_sets(self, keystore):
+        a = _miner("miner-0", keystore)
+        b = _miner("miner-1", keystore)
+        a.receive_upload(_upload("client-0", keystore, client_index=0))
+        b.receive_upload(_upload("client-1", keystore, value=2.0, client_index=1))
+        added = a.merge_gradient_set(b.gradient_set)
+        assert added == 1
+        assert a.gradient_count == 2
+        # Re-merging adds nothing (Algorithm 1 lines 20-22 idempotence).
+        assert a.merge_gradient_set(b.gradient_set) == 0
+
+    def test_merge_verifies_signatures(self, keystore):
+        a = _miner("miner-0", keystore)
+        forged = _upload("client-0", None)  # unsigned
+        added = a.merge_gradient_set({forged.tx_id: forged})
+        assert added == 0
+        assert a.rejected_transactions == 1
+
+    def test_gradient_vectors_sorted_by_sender(self, keystore):
+        miner = _miner(keystore=keystore)
+        miner.receive_upload(_upload("client-2", keystore, value=2.0, client_index=2))
+        miner.receive_upload(_upload("client-0", keystore, value=0.0, client_index=0))
+        miner.receive_upload(_upload("client-1", keystore, value=1.0, client_index=1))
+        senders, matrix = miner.gradient_vectors()
+        assert senders == ["client-0", "client-1", "client-2"]
+        np.testing.assert_allclose(matrix[:, 0], [0.0, 1.0, 2.0])
+
+    def test_gradient_vectors_empty(self, keystore):
+        senders, matrix = _miner(keystore=keystore).gradient_vectors()
+        assert senders == []
+        assert matrix.shape == (0, 0)
+
+    def test_reset_round(self, keystore):
+        miner = _miner(keystore=keystore)
+        miner.receive_upload(_upload("client-0", keystore))
+        miner.reset_round()
+        assert miner.gradient_count == 0
+
+    def test_build_mine_accept_block(self, keystore):
+        miner = _miner(keystore=keystore)
+        tx = make_global_update_transaction("miner-0", 0, np.ones(3), keystore=keystore)
+        block = miner.build_block(0, [tx], difficulty=8.0)
+        miner.mine(block, difficulty=8.0)
+        miner.accept_block(block)
+        assert miner.chain.height == 2
+        assert miner.chain.last_block.round_index == 0
+
+    def test_mine_failure_raises(self, keystore):
+        miner = _miner(keystore=keystore)
+        block = miner.build_block(0, [], difficulty=2.0**220)
+        with pytest.raises(RuntimeError, match="failed to find a nonce"):
+            miner.mine(block, difficulty=2.0**220, max_attempts=2)
+
+
+class TestBroadcastNetwork:
+    def _network(self, nodes=("a", "b", "c"), base_latency=0.1, jitter=0.0):
+        return BroadcastNetwork(
+            node_ids=list(nodes),
+            rng=new_rng(0, "net"),
+            base_latency=base_latency,
+            jitter=jitter,
+        )
+
+    def test_send_records_message(self):
+        net = self._network()
+        msg = net.send("a", "b", payload={"x": 1})
+        assert msg.sender == "a" and msg.receiver == "b"
+        assert msg.latency == pytest.approx(0.1)
+        assert net.message_count == 1
+
+    def test_self_send_has_zero_latency(self):
+        net = self._network()
+        assert net.send("a", "a", None).latency == 0.0
+
+    def test_broadcast_reaches_everyone_else(self):
+        net = self._network(nodes=("a", "b", "c", "d"))
+        msgs = net.broadcast("a", "hello")
+        assert {m.receiver for m in msgs} == {"b", "c", "d"}
+        assert net.broadcast_latency(msgs) == pytest.approx(0.1)
+
+    def test_all_pairs_exchange_latency(self):
+        net = self._network()
+        latency = net.all_pairs_exchange({"a": 1, "b": 2, "c": 3})
+        assert latency == pytest.approx(0.1)
+        # 3 senders x 2 receivers = 6 deliveries.
+        assert net.message_count == 6
+
+    def test_jitter_produces_variable_latency(self):
+        net = self._network(jitter=0.5)
+        latencies = {net.send("a", "b", None).latency for _ in range(10)}
+        assert len(latencies) > 1
+
+    def test_unknown_node_rejected(self):
+        net = self._network()
+        with pytest.raises(KeyError):
+            net.send("a", "zz", None)
+        with pytest.raises(KeyError):
+            net.broadcast("zz", None)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BroadcastNetwork(node_ids=[], rng=new_rng(0, "n"))
+        with pytest.raises(ValueError):
+            BroadcastNetwork(node_ids=["a", "a"], rng=new_rng(0, "n"))
+
+
+class TestLongestChainConsensus:
+    def _replicas(self, count=3):
+        genesis = Block.genesis()
+        replicas = {}
+        for i in range(count):
+            chain = Blockchain(enforce_pow=False)
+            chain.add_genesis(genesis)
+            replicas[f"miner-{i}"] = chain
+        return replicas
+
+    def test_commit_appends_everywhere(self):
+        replicas = self._replicas()
+        consensus = LongestChainConsensus(replicas)
+        tip = replicas["miner-0"].last_block
+        block = Block.create(
+            index=1, previous_hash=tip.block_hash, round_index=0, miner_id="miner-0",
+            transactions=[],
+        )
+        consensus.commit(block)
+        assert consensus.heights() == {"miner-0": 2, "miner-1": 2, "miner-2": 2}
+        assert consensus.in_sync()
+
+    def test_commit_rejects_invalid_block(self):
+        consensus = LongestChainConsensus(self._replicas())
+        bad = Block.create(
+            index=1, previous_hash="00" * 32, round_index=0, miner_id="m", transactions=[]
+        )
+        with pytest.raises(ValueError, match="rejected"):
+            consensus.commit(bad)
+        assert consensus.in_sync()
+
+    def test_requires_replicas(self):
+        with pytest.raises(ValueError):
+            LongestChainConsensus({})
+
+
+class TestTransactionTypesEnum:
+    def test_values_are_stable_identifiers(self):
+        assert TransactionType.GRADIENT_UPLOAD.value == "gradient_upload"
+        assert TransactionType.GLOBAL_UPDATE.value == "global_update"
+        assert TransactionType.REWARD.value == "reward"

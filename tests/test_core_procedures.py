@@ -1,0 +1,195 @@
+"""Tests for the five Algorithm-1 procedures as standalone composable functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.miner import Miner
+from repro.blockchain.transaction import TransactionType
+from repro.core.procedures import (
+    RoundContext,
+    procedure_exchange,
+    procedure_global_update,
+    procedure_local_update,
+    procedure_mining,
+    procedure_upload,
+)
+from repro.crypto.keystore import KeyStore
+from repro.fl.client import FLClient, LocalTrainingConfig
+from repro.incentive.contribution import ContributionConfig
+from repro.incentive.strategies import DiscardStrategy, KeepAllStrategy
+from repro.nn.models import LogisticRegressionModel
+from repro.nn.parameters import get_flat_parameters
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture()
+def setup(tiny_federated):
+    """Clients, miners, key store, and a starting global parameter vector."""
+    keystore = KeyStore(seed=0, key_bits=128)
+    clients = {}
+    for shard in tiny_federated.clients:
+        keystore.register(f"client-{shard.client_id}")
+        clients[shard.client_id] = FLClient(
+            shard,
+            lambda: LogisticRegressionModel(784, 10, new_rng(0, "proc-model")),
+            new_rng(0, "proc-client", shard.client_id),
+        )
+    miners = []
+    genesis = Block.genesis()
+    for k in range(2):
+        keystore.register(f"miner-{k}")
+        chain = Blockchain(enforce_pow=False)
+        chain.add_genesis(genesis)
+        miners.append(Miner(f"miner-{k}", chain, keystore=keystore, verify_signatures=True))
+    global_params = get_flat_parameters(clients[0].model)
+    return clients, miners, keystore, global_params
+
+
+def _context(global_params, selected):
+    return RoundContext(round_index=0, global_parameters=global_params, selected_clients=selected)
+
+
+LOCAL_CFG = LocalTrainingConfig(epochs=1, batch_size=10, learning_rate=0.05)
+
+
+class TestProcedureLocalUpdate:
+    def test_produces_one_update_per_selected_client(self, setup):
+        clients, _, _, global_params = setup
+        ctx = _context(global_params, [0, 2, 4])
+        procedure_local_update(ctx, clients, LOCAL_CFG)
+        assert [u.client_id for u in ctx.updates] == [0, 2, 4]
+        for u in ctx.updates:
+            assert u.parameters.shape == global_params.shape
+            assert not np.allclose(u.parameters, global_params)
+
+
+class TestProcedureUpload:
+    def test_signed_uploads_accepted_and_assigned(self, setup):
+        clients, miners, keystore, global_params = setup
+        ctx = _context(global_params, [0, 1, 2, 3])
+        procedure_local_update(ctx, clients, LOCAL_CFG)
+        procedure_upload(ctx, miners, keystore, new_rng(0, "upload"))
+        assert ctx.rejected_uploads == 0
+        assert sum(m.gradient_count for m in miners) == 4
+        assert set(ctx.client_to_miner.keys()) == {0, 1, 2, 3}
+        assert all(tx.tx_type is TransactionType.GRADIENT_UPLOAD for tx in ctx.transactions)
+
+    def test_unsigned_uploads_rejected_when_verification_on(self, setup):
+        clients, miners, _, global_params = setup
+        ctx = _context(global_params, [0, 1])
+        procedure_local_update(ctx, clients, LOCAL_CFG)
+        # Passing no keystore leaves the transactions unsigned; miners verify and reject.
+        procedure_upload(ctx, miners, None, new_rng(0, "upload"))
+        assert ctx.rejected_uploads == 2
+        assert sum(m.gradient_count for m in miners) == 0
+
+
+class TestProcedureExchange:
+    def test_all_miners_converge_to_same_set(self, setup):
+        clients, miners, keystore, global_params = setup
+        ctx = _context(global_params, [0, 1, 2, 3, 4])
+        procedure_local_update(ctx, clients, LOCAL_CFG)
+        procedure_upload(ctx, miners, keystore, new_rng(0, "upload"))
+        procedure_exchange(ctx, miners)
+        counts = {m.gradient_count for m in miners}
+        assert counts == {5}
+        assert ctx.gradient_matrix.shape[0] == 5
+        assert sorted(ctx.gradient_client_ids) == [0, 1, 2, 3, 4]
+
+    def test_single_miner_exchange_is_noop(self, setup):
+        clients, miners, keystore, global_params = setup
+        ctx = _context(global_params, [0, 1])
+        procedure_local_update(ctx, clients, LOCAL_CFG)
+        procedure_upload(ctx, miners[:1], keystore, new_rng(0, "upload"))
+        procedure_exchange(ctx, miners[:1])
+        assert ctx.gradient_matrix.shape[0] == 2
+
+
+class TestProcedureGlobalUpdate:
+    def _prepared_ctx(self, setup, selected):
+        clients, miners, keystore, global_params = setup
+        ctx = _context(global_params, selected)
+        procedure_local_update(ctx, clients, LOCAL_CFG)
+        procedure_upload(ctx, miners, keystore, new_rng(0, "upload"))
+        procedure_exchange(ctx, miners)
+        return ctx
+
+    def test_simple_average_without_incentive(self, setup):
+        ctx = self._prepared_ctx(setup, [0, 1, 2])
+        procedure_global_update(
+            ctx, contribution_config=None, strategy=None, run_incentive=False
+        )
+        np.testing.assert_allclose(
+            ctx.new_global_parameters, ctx.gradient_matrix.mean(axis=0), atol=1e-12
+        )
+        assert ctx.contribution_report is None
+
+    def test_incentive_path_produces_report_and_rewards(self, setup):
+        ctx = self._prepared_ctx(setup, [0, 1, 2, 3])
+        procedure_global_update(
+            ctx,
+            contribution_config=ContributionConfig(eps=0.8),
+            strategy=KeepAllStrategy(),
+        )
+        assert ctx.contribution_report is not None
+        assert ctx.new_global_parameters is not None
+        assert set(e.client_id for e in ctx.reward_list) == set(
+            ctx.contribution_report.high_contributors
+        )
+
+    def test_empty_gradient_set_keeps_previous_global(self, setup):
+        _, _, _, global_params = setup
+        ctx = _context(global_params, [])
+        ctx.gradient_matrix = np.zeros((0, 0))
+        procedure_global_update(
+            ctx, contribution_config=ContributionConfig(), strategy=KeepAllStrategy()
+        )
+        np.testing.assert_allclose(ctx.new_global_parameters, global_params)
+
+    def test_discard_strategy_records_outcome(self, setup):
+        ctx = self._prepared_ctx(setup, [0, 1, 2, 3, 4, 5])
+        procedure_global_update(
+            ctx,
+            contribution_config=ContributionConfig(eps=0.5),
+            strategy=DiscardStrategy(),
+        )
+        outcome = ctx.strategy_outcome
+        assert outcome is not None
+        assert set(outcome.kept_client_ids) | set(outcome.discarded_client_ids) == set(
+            ctx.gradient_client_ids
+        )
+
+
+class TestProcedureMining:
+    def test_mined_block_commits_on_all_replicas(self, setup):
+        clients, miners, keystore, global_params = setup
+        ctx = _context(global_params, [0, 1])
+        procedure_local_update(ctx, clients, LOCAL_CFG)
+        procedure_upload(ctx, miners, keystore, new_rng(0, "upload"))
+        procedure_exchange(ctx, miners)
+        procedure_global_update(
+            ctx, contribution_config=ContributionConfig(eps=0.8), strategy=KeepAllStrategy()
+        )
+        procedure_mining(
+            ctx, miners, keystore, new_rng(0, "mining"), use_real_pow=True, pow_difficulty=4.0
+        )
+        assert ctx.mined_block is not None
+        assert ctx.winning_miner in {"miner-0", "miner-1"}
+        assert all(m.chain.height == 2 for m in miners)
+        tips = {m.chain.last_block.block_hash for m in miners}
+        assert len(tips) == 1
+        # The block carries exactly the global update plus the reward list (Assumption 2).
+        types = [tx.tx_type for tx in ctx.mined_block.transactions]
+        assert types.count(TransactionType.GLOBAL_UPDATE) == 1
+        assert types.count(TransactionType.REWARD) == len(ctx.reward_list)
+        assert types.count(TransactionType.GRADIENT_UPLOAD) == 0
+
+    def test_mining_requires_global_update(self, setup):
+        _, miners, keystore, global_params = setup
+        ctx = _context(global_params, [])
+        with pytest.raises(RuntimeError, match="before procedure_global_update"):
+            procedure_mining(ctx, miners, keystore, new_rng(0, "mining"))

@@ -1,0 +1,253 @@
+"""Tests for repro.nn layers, modules, and numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dropout, Flatten, Linear, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.losses import SoftmaxCrossEntropyLoss
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.parameters import get_flat_parameters, set_flat_parameters
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture()
+def rng():
+    return new_rng(0, "nn-tests")
+
+
+class TestParameter:
+    def test_grad_initialised_to_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        assert p.grad.shape == (2, 3)
+        assert np.all(p.grad == 0.0)
+
+    def test_zero_grad_in_place(self):
+        p = Parameter(np.ones(4))
+        grad_ref = p.grad
+        p.grad += 5.0
+        p.zero_grad()
+        assert p.grad is grad_ref
+        assert np.all(p.grad == 0.0)
+
+    def test_size_and_shape(self):
+        p = Parameter(np.zeros((3, 5)))
+        assert p.size == 15
+        assert p.shape == (3, 5)
+
+
+class TestModuleTraversal:
+    def test_parameters_recursive(self, rng):
+        model = Sequential(Linear(4, 3, rng), ReLU(), Linear(3, 2, rng))
+        names = [n for n, _ in model.named_parameters()]
+        assert names == ["layer0.weight", "layer0.bias", "layer2.weight", "layer2.bias"]
+
+    def test_num_parameters(self, rng):
+        model = Sequential(Linear(4, 3, rng), Linear(3, 2, rng))
+        assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Linear(2, 2, rng), Dropout(0.5, rng))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_resets_all(self, rng):
+        model = Sequential(Linear(3, 2, rng))
+        for p in model.parameters():
+            p.grad += 1.0
+        model.zero_grad()
+        assert all(np.all(p.grad == 0.0) for p in model.parameters())
+
+    def test_register_wrong_types(self, rng):
+        m = Module()
+        with pytest.raises(TypeError):
+            m.register_parameter("p", np.zeros(3))
+        with pytest.raises(TypeError):
+            m.register_module("c", "not a module")
+
+    def test_sequential_indexing_and_append(self, rng):
+        model = Sequential(Linear(2, 2, rng))
+        model.append(ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(5, 3, rng)
+        out = layer.forward(np.zeros((7, 5)))
+        assert out.shape == (7, 3)
+
+    def test_forward_wrong_dim_raises(self, rng):
+        with pytest.raises(ValueError):
+            Linear(5, 3, rng).forward(np.zeros((7, 4)))
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2, rng).backward(np.zeros((1, 2)))
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(4, 2, rng, bias=False)
+        assert layer.bias is None
+        assert sum(1 for _ in layer.parameters()) == 1
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 3, rng)
+
+    def test_invalid_init_name(self, rng):
+        with pytest.raises(ValueError):
+            Linear(2, 2, rng, init="bogus")
+
+    def test_gradient_accumulates_across_backwards(self, rng):
+        layer = Linear(3, 2, rng)
+        x = np.ones((4, 3))
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 2.0]])
+
+    def test_relu_backward_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_allclose(grad, [[0.0, 5.0]])
+
+    def test_tanh_range(self):
+        out = Tanh().forward(np.array([[-10.0, 0.0, 10.0]]))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_sigmoid_extremes_stable(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 0.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(0.5)
+        assert out[0, 2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = Softmax().forward(np.random.default_rng(0).normal(size=(5, 7)))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_softmax_shift_invariance(self):
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        a = Softmax().forward(x)
+        b = Softmax().forward(x + 100.0)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_backward_before_forward_raises(self):
+        for layer in (ReLU(), Tanh(), Sigmoid(), Softmax(), Flatten()):
+            with pytest.raises(RuntimeError):
+                layer.backward(np.zeros((1, 2)))
+
+
+class TestDropoutFlatten:
+    def test_dropout_eval_is_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.training = False
+        x = np.ones((4, 6))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_dropout_train_scales_kept_units(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((2000, 1))
+        out = layer.forward(x)
+        # Inverted dropout keeps the expectation approximately unchanged.
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_dropout_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=float).reshape(2, 3, 4)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        assert back.shape == (2, 3, 4)
+
+
+def _numerical_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        f_plus = f()
+        x[idx] = old - eps
+        f_minus = f()
+        x[idx] = old
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestGradientCheck:
+    """Finite-difference checks that backprop matches the analytic gradient."""
+
+    def test_linear_softmax_ce_gradients(self, rng):
+        model = Sequential(Linear(6, 4, rng), Tanh(), Linear(4, 3, rng))
+        loss_fn = SoftmaxCrossEntropyLoss()
+        x = new_rng(1, "x").normal(size=(5, 6))
+        y = new_rng(2, "y").integers(0, 3, size=5)
+
+        def loss_value():
+            return loss_fn.forward(model.forward(x), y)
+
+        model.zero_grad()
+        loss_fn.forward(model.forward(x), y)
+        model.backward(loss_fn.backward())
+
+        for param in model.parameters():
+            numeric = _numerical_gradient(loss_value, param.value)
+            np.testing.assert_allclose(param.grad, numeric, atol=1e-5, rtol=1e-4)
+
+    def test_relu_network_gradients(self, rng):
+        model = Sequential(Linear(4, 5, rng, init="he"), ReLU(), Linear(5, 2, rng))
+        loss_fn = SoftmaxCrossEntropyLoss()
+        x = new_rng(3, "x").normal(size=(6, 4)) + 0.1
+        y = new_rng(4, "y").integers(0, 2, size=6)
+
+        def loss_value():
+            return loss_fn.forward(model.forward(x), y)
+
+        model.zero_grad()
+        loss_fn.forward(model.forward(x), y)
+        model.backward(loss_fn.backward())
+        flat_analytic = np.concatenate([p.grad.ravel() for p in model.parameters()])
+        flat_numeric = np.concatenate(
+            [_numerical_gradient(loss_value, p.value).ravel() for p in model.parameters()]
+        )
+        np.testing.assert_allclose(flat_analytic, flat_numeric, atol=1e-5, rtol=1e-3)
+
+
+class TestFlatParameters:
+    def test_roundtrip(self, rng):
+        model = Sequential(Linear(4, 3, rng), ReLU(), Linear(3, 2, rng))
+        flat = get_flat_parameters(model)
+        assert flat.shape == (model.num_parameters(),)
+        set_flat_parameters(model, flat * 2.0)
+        np.testing.assert_allclose(get_flat_parameters(model), flat * 2.0)
+
+    def test_wrong_length_raises(self, rng):
+        model = Sequential(Linear(4, 3, rng))
+        with pytest.raises(ValueError):
+            set_flat_parameters(model, np.zeros(3))
+
+    def test_set_does_not_rebind_arrays(self, rng):
+        model = Sequential(Linear(2, 2, rng))
+        refs = [p.value for p in model.parameters()]
+        set_flat_parameters(model, np.zeros(model.num_parameters()))
+        assert all(p.value is r for p, r in zip(model.parameters(), refs))

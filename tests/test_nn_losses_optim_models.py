@@ -1,0 +1,254 @@
+"""Tests for losses, optimizers, schedules, models, metrics, initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import he_init, normal_init, xavier_init, zeros_init
+from repro.nn.layers import Linear
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropyLoss
+from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
+from repro.nn.models import LogisticRegressionModel, MLPClassifier, build_model
+from repro.nn.module import Parameter, Sequential
+from repro.nn.optim import SGD, ConstantLR, InverseTimeDecayLR, StepDecayLR
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture()
+def rng():
+    return new_rng(0, "loss-tests")
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropyLoss()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-4
+
+    def test_uniform_prediction_loss_is_log_classes(self):
+        loss = SoftmaxCrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        assert loss.forward(logits, np.zeros(4, dtype=int)) == pytest.approx(np.log(10))
+
+    def test_backward_shape_and_scale(self):
+        loss = SoftmaxCrossEntropyLoss()
+        logits = np.zeros((4, 3))
+        loss.forward(logits, np.array([0, 1, 2, 0]))
+        grad = loss.backward()
+        assert grad.shape == (4, 3)
+        # Gradient rows sum to zero for softmax CE.
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropyLoss().backward()
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropyLoss().forward(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropyLoss().forward(np.zeros((2, 3)), np.array([0]))
+
+    def test_loss_decreases_under_gradient_descent(self, rng):
+        model = Sequential(Linear(5, 3, rng))
+        loss_fn = SoftmaxCrossEntropyLoss()
+        x = rng.normal(size=(30, 5))
+        y = rng.integers(0, 3, size=30)
+        opt = SGD(model.parameters(), lr=0.5)
+        first = loss_fn.forward(model.forward(x), y)
+        for _ in range(30):
+            opt.zero_grad()
+            loss_fn.forward(model.forward(x), y)
+            model.backward(loss_fn.backward())
+            opt.step()
+        last = loss_fn.forward(model.forward(x), y)
+        assert last < first
+
+
+class TestMSELoss:
+    def test_zero_for_equal(self):
+        loss = MSELoss()
+        assert loss.forward(np.ones((3, 2)), np.ones((3, 2))) == 0.0
+
+    def test_value(self):
+        loss = MSELoss()
+        assert loss.forward(np.array([[2.0]]), np.array([[0.0]])) == pytest.approx(4.0)
+
+    def test_gradient(self):
+        loss = MSELoss()
+        loss.forward(np.array([[2.0, 0.0]]), np.array([[0.0, 0.0]]))
+        np.testing.assert_allclose(loss.backward(), [[2.0, 0.0]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().forward(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR(0.05).learning_rate(100) == 0.05
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+
+    def test_step_decay(self):
+        sched = StepDecayLR(1.0, step_size=10, gamma=0.5)
+        assert sched.learning_rate(0) == 1.0
+        assert sched.learning_rate(10) == 0.5
+        assert sched.learning_rate(25) == 0.25
+
+    def test_inverse_time_decay_matches_theorem_form(self):
+        # eta_r = 2 / (mu * (gamma + r)) with mu = 0.5, gamma = 8.
+        mu, gamma = 0.5, 8.0
+        sched = InverseTimeDecayLR(beta=2.0 / mu, gamma=gamma)
+        for r in (0, 1, 5, 50):
+            assert sched.learning_rate(r) == pytest.approx(2.0 / (mu * (gamma + r)))
+
+    def test_inverse_time_decay_is_decreasing(self):
+        sched = InverseTimeDecayLR(1.0, 1.0)
+        rates = [sched.learning_rate(r) for r in range(20)]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+    def test_inverse_time_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            InverseTimeDecayLR(1.0, 1.0).learning_rate(-1)
+
+
+class TestSGD:
+    def test_basic_step(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        p.grad[:] = [1.0, 1.0]
+        opt = SGD([p], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(p.value, [0.9, 1.9])
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(3):
+            p.grad[:] = [1.0]
+            opt.step()
+        # With momentum the total displacement exceeds 3 * lr * grad.
+        assert p.value[0] < -0.3
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], momentum=1.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([10.0]))
+        p.grad[:] = [0.0]
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert p.value[0] < 10.0
+
+    def test_schedule_used(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=StepDecayLR(1.0, step_size=1, gamma=0.1))
+        assert opt.current_lr == 1.0
+        p.grad[:] = [1.0]
+        opt.step()
+        assert opt.current_lr == pytest.approx(0.1)
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        p.grad += 3.0
+        SGD([p]).zero_grad()
+        assert np.all(p.grad == 0.0)
+
+
+class TestInitializers:
+    def test_zeros(self):
+        assert np.all(zeros_init((3, 2)) == 0.0)
+
+    def test_normal_std(self, rng):
+        w = normal_init((2000,), rng, std=0.1)
+        assert np.std(w) == pytest.approx(0.1, rel=0.15)
+
+    def test_normal_rejects_negative_std(self, rng):
+        with pytest.raises(ValueError):
+            normal_init((2,), rng, std=-1.0)
+
+    def test_xavier_bounds(self, rng):
+        w = xavier_init((50, 30), rng)
+        limit = np.sqrt(6.0 / 80)
+        assert np.all(np.abs(w) <= limit + 1e-12)
+
+    def test_xavier_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            xavier_init((5,), rng)
+
+    def test_he_scale(self, rng):
+        w = he_init((2000, 10), rng)
+        assert np.std(w) == pytest.approx(np.sqrt(2.0 / 2000), rel=0.2)
+
+
+class TestModels:
+    def test_logreg_shapes(self, rng):
+        model = LogisticRegressionModel(784, 10, rng)
+        out = model.forward(np.zeros((4, 784)))
+        assert out.shape == (4, 10)
+
+    def test_mlp_shapes(self, rng):
+        model = MLPClassifier(784, 10, rng, hidden_sizes=(32, 16))
+        out = model.forward(np.zeros((2, 784)))
+        assert out.shape == (2, 10)
+        assert model.num_parameters() == 784 * 32 + 32 + 32 * 16 + 16 + 16 * 10 + 10
+
+    def test_build_model_factory(self, rng):
+        assert isinstance(build_model("logreg", 10, 3, rng), LogisticRegressionModel)
+        assert isinstance(build_model("mlp", 10, 3, rng), MLPClassifier)
+        with pytest.raises(ValueError):
+            build_model("transformer", 10, 3, rng)
+
+    def test_invalid_dimensions(self, rng):
+        with pytest.raises(ValueError):
+            LogisticRegressionModel(0, 10, rng)
+        with pytest.raises(ValueError):
+            MLPClassifier(10, 1, rng)
+        with pytest.raises(ValueError):
+            MLPClassifier(10, 3, rng, hidden_sizes=(0,))
+
+
+class TestMetrics:
+    def test_accuracy_perfect(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_accuracy_half(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1])) == 0.5
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.zeros((0, 3)), np.zeros(0, dtype=int)) == 0.0
+
+    def test_accuracy_shape_checks(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_top_k(self):
+        logits = np.array([[0.1, 0.5, 0.4], [0.9, 0.05, 0.02]])
+        assert top_k_accuracy(logits, np.array([2, 2]), k=2) == 0.5
+        assert top_k_accuracy(logits, np.array([2, 2]), k=3) == 1.0
+
+    def test_top_k_invalid(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2, dtype=int), k=4)
+
+    def test_confusion_matrix(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        cm = confusion_matrix(logits, np.array([0, 1, 1]), num_classes=2)
+        np.testing.assert_array_equal(cm, [[1, 0], [1, 1]])
+
+    def test_confusion_matrix_invalid_classes(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros((1, 2)), np.zeros(1, dtype=int), num_classes=0)

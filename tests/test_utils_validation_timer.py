@@ -1,0 +1,106 @@
+"""Tests for repro.utils.validation and repro.utils.timer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.timer import SimulatedClock, WallClockTimer
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestValidation:
+    def test_check_type_passes(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_check_type_tuple(self):
+        assert check_type("x", 3.0, (int, float)) == 3.0
+
+    def test_check_type_fails(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "nope", int)
+
+    def test_check_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, float("inf"), float("nan")])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive("x", bad)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_check_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+        with pytest.raises(ValueError):
+            check_non_negative("x", float("inf"))
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_probability_accepts(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_check_probability_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+    def test_check_in_range_inclusive(self):
+        assert check_in_range("x", 5, 5, 10) == 5
+
+    def test_check_in_range_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 5, 5, 10, inclusive=False)
+
+    def test_check_in_range_rejects_outside(self):
+        with pytest.raises(ValueError, match="x must lie in"):
+            check_in_range("x", 11, 0, 10)
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(2.0)
+        clock.advance(3.5)
+        assert clock.now == pytest.approx(5.5)
+        assert clock.total_elapsed == pytest.approx(5.5)
+
+    def test_advance_records_increments(self):
+        clock = SimulatedClock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.increments == [1.0, 2.0]
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance(4.0)
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.increments == []
+
+    def test_advance_returns_new_time(self):
+        clock = SimulatedClock()
+        assert clock.advance(1.5) == pytest.approx(1.5)
+
+
+class TestWallClockTimer:
+    def test_measures_nonnegative_duration(self):
+        with WallClockTimer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+
+    def test_elapsed_zero_before_use(self):
+        assert WallClockTimer().elapsed == 0.0
