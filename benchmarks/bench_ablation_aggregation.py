@@ -9,7 +9,6 @@ rule is the only defence).
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.core.experiment import run_fairbfl
 from repro.core.results import ComparisonResult
 
 
@@ -21,13 +20,14 @@ def _run(suite):
         ("fair_agg/attacked", True, True),
         ("simple_avg/attacked", False, True),
     ):
-        cfg = suite.fairbfl_config(
+        hist = suite.run(
+            "fairbfl",
+            name=label,
             use_fair_aggregation=use_fair,
-            enable_attacks=attacks,
+            attacks=attacks,
             attack_name="scaling",
             strategy="keep",
         )
-        _, hist = run_fairbfl(suite.dataset(), config=cfg)
         results[label] = (hist.average_accuracy(), hist.final_accuracy())
     return results
 

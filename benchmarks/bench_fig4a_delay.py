@@ -11,14 +11,15 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import emit
-from repro.core.experiment import run_fairbfl, run_fedavg, run_vanilla_blockchain
 from repro.core.results import ComparisonResult
 
 
 def _run(suite):
-    _, fair = run_fairbfl(suite.dataset(), config=suite.fairbfl_config())
-    _, fedavg = run_fedavg(suite.dataset(), config=suite.fedavg_config())
-    _, chain = run_vanilla_blockchain(config=suite.blockchain_config(num_workers=100))
+    # All systems drive through the suite's scenario engine (one wiring path
+    # shared with the CLI's run/compare/sweep subcommands).
+    fair = suite.run("fairbfl")
+    fedavg = suite.run("fedavg")
+    chain = suite.run("blockchain", num_clients=100)
     return fair, fedavg, chain
 
 

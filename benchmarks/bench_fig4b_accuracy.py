@@ -11,14 +11,13 @@ import numpy as np
 
 from benchmarks.conftest import emit
 from repro.core.convergence import ConvergenceCriterion
-from repro.core.experiment import run_fairbfl, run_fedavg, run_fedprox
 from repro.core.results import ComparisonResult
 
 
 def _run(suite):
-    _, fair = run_fairbfl(suite.dataset(), config=suite.fairbfl_config())
-    _, fedavg = run_fedavg(suite.dataset(), config=suite.fedavg_config())
-    _, fedprox = run_fedprox(suite.dataset(), config=suite.fedprox_config(proximal_mu=0.1))
+    fair = suite.run("fairbfl")
+    fedavg = suite.run("fedavg")
+    fedprox = suite.run("fedprox", proximal_mu=0.1)
     return fair, fedavg, fedprox
 
 

@@ -11,9 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import emit
-from repro.core.experiment import run_fairbfl, run_fedavg
 from repro.core.results import ComparisonResult
-from repro.fl.client import LocalTrainingConfig
 
 LEARNING_RATES = (0.01, 0.05, 0.10, 0.15, 0.20)
 
@@ -21,11 +19,8 @@ LEARNING_RATES = (0.01, 0.05, 0.10, 0.15, 0.20)
 def _sweep(suite):
     rows = []
     for lr in LEARNING_RATES:
-        local = LocalTrainingConfig(
-            epochs=suite.local.epochs, batch_size=suite.local.batch_size, learning_rate=lr
-        )
-        _, fair = run_fairbfl(suite.dataset(), config=suite.fairbfl_config(local=local))
-        _, fedavg = run_fedavg(suite.dataset(), config=suite.fedavg_config(local=local))
+        fair = suite.run("fairbfl", learning_rate=lr)
+        fedavg = suite.run("fedavg", learning_rate=lr)
         rows.append((lr, fair.average_delay(), fedavg.average_delay()))
     return rows
 

@@ -10,9 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import emit
-from repro.core.experiment import run_fairbfl, run_fedavg, run_fedprox
 from repro.core.results import ComparisonResult
-from repro.fl.client import LocalTrainingConfig
 
 LEARNING_RATES = (0.01, 0.05, 0.10, 0.15, 0.20)
 
@@ -20,14 +18,9 @@ LEARNING_RATES = (0.01, 0.05, 0.10, 0.15, 0.20)
 def _sweep(suite):
     rows = []
     for lr in LEARNING_RATES:
-        local = LocalTrainingConfig(
-            epochs=suite.local.epochs, batch_size=suite.local.batch_size, learning_rate=lr
-        )
-        _, fair = run_fairbfl(suite.dataset(), config=suite.fairbfl_config(local=local))
-        _, fedavg = run_fedavg(suite.dataset(), config=suite.fedavg_config(local=local))
-        _, fedprox = run_fedprox(
-            suite.dataset(), config=suite.fedprox_config(proximal_mu=0.1, local=local)
-        )
+        fair = suite.run("fairbfl", learning_rate=lr)
+        fedavg = suite.run("fedavg", learning_rate=lr)
+        fedprox = suite.run("fedprox", learning_rate=lr, proximal_mu=0.1)
         rows.append(
             (lr, fair.average_accuracy(), fedavg.average_accuracy(), fedprox.average_accuracy())
         )

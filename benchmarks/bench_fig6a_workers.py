@@ -12,12 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import emit
-from repro.core.experiment import (
-    ExperimentSuite,
-    run_fairbfl,
-    run_fedavg,
-    run_vanilla_blockchain,
-)
+from repro.core.experiment import ExperimentSuite
 from repro.core.results import ComparisonResult
 from repro.fl.client import LocalTrainingConfig
 
@@ -36,9 +31,9 @@ def _sweep():
             local=LocalTrainingConfig(epochs=2, batch_size=10, learning_rate=0.05),
             seed=0,
         )
-        _, fair = run_fairbfl(suite.dataset(), config=suite.fairbfl_config())
-        _, fedavg = run_fedavg(suite.dataset(), config=suite.fedavg_config())
-        _, chain = run_vanilla_blockchain(config=suite.blockchain_config(num_workers=n))
+        fair = suite.run("fairbfl")
+        fedavg = suite.run("fedavg")
+        chain = suite.run("blockchain")
         rows.append((n, fair.average_delay(), chain.average_delay(), fedavg.average_delay()))
     return rows
 

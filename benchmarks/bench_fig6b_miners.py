@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import emit
-from repro.core.experiment import run_fairbfl, run_vanilla_blockchain
 from repro.core.results import ComparisonResult
 
 MINER_COUNTS = (2, 4, 6, 8, 10)
@@ -21,10 +20,8 @@ MINER_COUNTS = (2, 4, 6, 8, 10)
 def _sweep(suite):
     rows = []
     for m in MINER_COUNTS:
-        _, fair = run_fairbfl(suite.dataset(), config=suite.fairbfl_config(num_miners=m))
-        _, chain = run_vanilla_blockchain(
-            config=suite.blockchain_config(num_workers=100, num_miners=m)
-        )
+        fair = suite.run("fairbfl", miners=m)
+        chain = suite.run("blockchain", num_clients=100, miners=m)
         rows.append((m, fair.average_delay(), chain.average_delay()))
     return rows
 

@@ -9,20 +9,14 @@ FedAvg, while the vanilla blockchain remains the slowest.
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.core.experiment import run_fairbfl, run_fedavg, run_vanilla_blockchain
 from repro.core.results import ComparisonResult
-from repro.incentive.contribution import ContributionConfig
 
 
 def _run(suite):
-    contribution = ContributionConfig(eps=0.6)
-    _, fair = run_fairbfl(suite.dataset(), config=suite.fairbfl_config())
-    _, fair_discard = run_fairbfl(
-        suite.dataset(),
-        config=suite.fairbfl_config(strategy="discard", contribution=contribution),
-    )
-    _, fedavg = run_fedavg(suite.dataset(), config=suite.fedavg_config())
-    _, chain = run_vanilla_blockchain(config=suite.blockchain_config(num_workers=100))
+    fair = suite.run("fairbfl")
+    fair_discard = suite.run("fairbfl", strategy="discard", dbscan_eps=0.6)
+    fedavg = suite.run("fedavg")
+    chain = suite.run("blockchain", num_clients=100)
     return fair, fair_discard, fedavg, chain
 
 

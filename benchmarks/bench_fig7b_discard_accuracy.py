@@ -9,22 +9,14 @@ lower.
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.core.experiment import run_fairbfl, run_fedavg, run_fedprox
 from repro.core.results import ComparisonResult
-from repro.incentive.contribution import ContributionConfig
 
 
 def _run(suite):
-    contribution = ContributionConfig(eps=0.6)
-    _, fair = run_fairbfl(suite.dataset(), config=suite.fairbfl_config())
-    _, fair_discard = run_fairbfl(
-        suite.dataset(),
-        config=suite.fairbfl_config(strategy="discard", contribution=contribution),
-    )
-    _, fedavg = run_fedavg(suite.dataset(), config=suite.fedavg_config())
-    _, fedprox = run_fedprox(
-        suite.dataset(), config=suite.fedprox_config(proximal_mu=0.1, drop_percent=0.02)
-    )
+    fair = suite.run("fairbfl")
+    fair_discard = suite.run("fairbfl", strategy="discard", dbscan_eps=0.6)
+    fedavg = suite.run("fedavg")
+    fedprox = suite.run("fedprox", proximal_mu=0.1, drop_percent=0.02)
     return fair, fair_discard, fedavg, fedprox
 
 

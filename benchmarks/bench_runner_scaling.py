@@ -1,0 +1,117 @@
+"""Runner scaling: serial vs parallel wall-clock for Procedure I fan-out.
+
+Measures the wall-clock of full FAIR-BFL rounds at 10 / 50 / 200 clients under
+the ``serial``, ``thread`` and ``process`` executor backends, and verifies the
+engine's central determinism claim: **per-round histories are bit-identical
+across backends** (every stochastic draw comes from the owning client's
+private RNG stream, and the process backend ships/restores those streams).
+Because the serial backend is the original list-comprehension loop, backend
+parity also pins the parallel paths to the seed implementation's output.
+
+The speed-up assertion (parallel ≤ 0.6× serial wall-clock at 200 clients) is
+made only when the machine exposes ≥ 4 CPUs to this process: on one CPU a
+process pool cannot beat the serial loop at all, and on two the ideal ratio is
+already 0.5× before pool overhead (client shipping, per-task parameter and
+RNG-state transfer), which makes a hard 0.6× gate flaky.  Below that threshold
+the bench still reports the measured ratio without asserting it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.core.results import ComparisonResult
+from repro.runner.engine import ExperimentEngine
+from repro.runner.scenario import ScenarioSpec
+
+CLIENT_COUNTS = (10, 50, 200)
+BACKENDS = ("serial", "thread", "process")
+SPEEDUP_TARGET = 0.6
+MIN_CPUS_FOR_SPEEDUP_ASSERT = 4
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _scaling_spec(num_clients: int, backend: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"scaling[n={num_clients},backend={backend}]",
+        system="fairbfl",
+        num_clients=num_clients,
+        num_samples=30 * num_clients,
+        num_rounds=2,
+        participation=0.5,
+        epochs=2,
+        batch_size=10,
+        learning_rate=0.05,
+        backend=backend,
+        seed=0,
+    )
+
+
+def _fingerprint(history) -> tuple:
+    """Everything stochastic about a run, for exact cross-backend comparison."""
+    return tuple(
+        (r.round_index, r.accuracy, r.train_loss, r.delay, tuple(r.participants), tuple(r.attackers))
+        for r in history.rounds
+    )
+
+
+def _sweep():
+    engine = ExperimentEngine()
+    rows = []
+    for n in CLIENT_COUNTS:
+        timings: dict[str, float] = {}
+        fingerprints: dict[str, tuple] = {}
+        for backend in BACKENDS:
+            spec = _scaling_spec(n, backend)
+            engine.dataset_for(spec)  # exclude the (shared) partitioning cost
+            start = time.perf_counter()
+            history = engine.run(spec)
+            timings[backend] = time.perf_counter() - start
+            fingerprints[backend] = _fingerprint(history)
+        rows.append((n, timings, fingerprints))
+    return rows
+
+
+def test_runner_scaling(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    cpus = _available_cpus()
+
+    table = ComparisonResult(
+        title="Runner scaling -- wall-clock (s) of 2 FAIR-BFL rounds per backend",
+        columns=["clients", "serial_s", "thread_s", "process_s", "process/serial"],
+    )
+    for n, timings, _prints in rows:
+        table.add_row(
+            n,
+            timings["serial"],
+            timings["thread"],
+            timings["process"],
+            timings["process"] / timings["serial"],
+        )
+    table.notes.append(f"CPUs visible to this process: {cpus}")
+    table.notes.append(
+        f"speed-up target (process <= {SPEEDUP_TARGET}x serial at {CLIENT_COUNTS[-1]} clients) "
+        + ("asserted" if cpus >= MIN_CPUS_FOR_SPEEDUP_ASSERT else f"not asserted with only {cpus} CPU(s)")
+    )
+    emit(table, "runner_scaling.txt")
+
+    # Determinism: every backend produced the exact same history at every scale.
+    for n, _timings, fingerprints in rows:
+        assert fingerprints["serial"] == fingerprints["thread"] == fingerprints["process"], (
+            f"backend histories diverged at {n} clients"
+        )
+    # Speed: with real parallel hardware the process backend must win big.
+    if cpus >= MIN_CPUS_FOR_SPEEDUP_ASSERT:
+        _n, timings, _prints = rows[-1]
+        ratio = timings["process"] / timings["serial"]
+        assert ratio <= SPEEDUP_TARGET, (
+            f"process backend too slow: {ratio:.2f}x serial at {CLIENT_COUNTS[-1]} clients"
+        )

@@ -31,8 +31,11 @@ from repro.core.flexibility import OperatingMode
 from repro.fl.fedavg import FedAvgConfig, FedAvgTrainer
 from repro.fl.fedprox import FedProxConfig, FedProxTrainer
 from repro.fl.history import TrainingHistory
+from repro.runner.engine import ExperimentEngine
+from repro.runner.executor import ParallelExecutor
+from repro.runner.scenario import ScenarioMatrix, ScenarioSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FairBFLConfig",
@@ -49,5 +52,9 @@ __all__ = [
     "FedProxConfig",
     "FedProxTrainer",
     "TrainingHistory",
+    "ExperimentEngine",
+    "ParallelExecutor",
+    "ScenarioMatrix",
+    "ScenarioSpec",
     "__version__",
 ]

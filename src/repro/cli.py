@@ -6,12 +6,22 @@ Run the reproduced systems without writing any Python:
 
    python -m repro.cli run fairbfl --clients 12 --rounds 8
    python -m repro.cli run fedavg  --clients 12 --rounds 8
-   python -m repro.cli run blockchain --clients 100 --rounds 10
+   python -m repro.cli run fairbfl --backend process --workers 4
    python -m repro.cli compare --clients 12 --rounds 8 --export results.csv
+   python -m repro.cli sweep --scenario scenarios/example_sweep.toml
 
 ``run`` executes one system and prints its per-round series and summary;
 ``compare`` runs FAIR-BFL, FAIR-BFL(discard), FedAvg, FedProx, and the vanilla
-blockchain on the same workload and prints the Figure-4-style comparison.
+blockchain on the same workload and prints the Figure-4-style comparison;
+``sweep`` expands a JSON/TOML scenario file (single scenario, explicit list,
+or cartesian matrix — see ``docs/scenarios.md``) and runs every grid point.
+
+All three subcommands drive through the same
+:class:`~repro.runner.engine.ExperimentEngine`, so a CLI run, a benchmark,
+and a scenario file with the same parameters produce identical histories.
+The ``--backend`` flag selects how each round's local updates fan out
+(``serial`` | ``thread`` | ``process``); results are bit-identical across
+backends.
 """
 
 from __future__ import annotations
@@ -19,16 +29,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.experiment import (
-    ExperimentSuite,
-    run_fairbfl,
-    run_fedavg,
-    run_fedprox,
-    run_vanilla_blockchain,
-)
 from repro.core.io import save_comparison_csv, save_history_csv
 from repro.core.results import ComparisonResult, summarize_history
-from repro.fl.client import LocalTrainingConfig
+from repro.runner.engine import ExperimentEngine
+from repro.runner.executor import EXECUTOR_BACKENDS
+from repro.runner.scenario import ScenarioError, ScenarioSpec, load_scenario_file
 
 __all__ = ["build_parser", "main"]
 
@@ -56,6 +61,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--attacks", action="store_true", help="enable 1-3 malicious clients per round")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--export", default=None, help="write the per-round series to this CSV file")
+        add_backend(p)
+
+    def add_backend(p: argparse.ArgumentParser, *, backend_default: str | None = "serial") -> None:
+        p.add_argument(
+            "--backend",
+            default=backend_default,
+            choices=list(EXECUTOR_BACKENDS),
+            help="how local updates fan out over clients (results are identical)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker count for the thread/process backends (default: CPU count)",
+        )
 
     run_p = sub.add_parser("run", help="run a single system")
     run_p.add_argument("system", choices=SYSTEMS)
@@ -63,48 +83,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_p = sub.add_parser("compare", help="run all systems on the same workload")
     add_common(cmp_p)
+
+    sweep_p = sub.add_parser("sweep", help="run every scenario in a JSON/TOML scenario file")
+    sweep_p.add_argument(
+        "--scenario",
+        required=True,
+        action="append",
+        help="scenario file (.json or .toml); repeatable",
+    )
+    sweep_p.add_argument("--export", default=None, help="write the sweep summary to this CSV file")
+    # For sweep the flags are *overrides* of what the scenario file says, so
+    # their defaults must be distinguishable from an explicit value.
+    add_backend(sweep_p, backend_default=None)
     return parser
 
 
-def _suite_from_args(args: argparse.Namespace) -> ExperimentSuite:
-    return ExperimentSuite(
+def _spec_from_args(system: str, args: argparse.Namespace) -> ScenarioSpec:
+    """Translate the run/compare flags into a validated scenario."""
+    overrides = {}
+    if system == "fedprox":
+        # The CLI's FedProx baseline keeps the paper's 2% straggler drop.
+        overrides["drop_percent"] = 0.02
+    return ScenarioSpec(
+        name=system,
+        system=system,
         num_clients=args.clients,
-        num_samples=args.samples,
+        miners=args.miners,
         num_rounds=args.rounds,
-        participation_fraction=args.participation,
+        num_samples=args.samples,
+        participation=args.participation,
+        learning_rate=args.lr,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
         scheme=args.scheme,
-        model_name="logreg",
-        local=LocalTrainingConfig(
-            epochs=args.epochs, batch_size=args.batch_size, learning_rate=args.lr
-        ),
+        attacks=args.attacks,
         seed=args.seed,
-    )
-
-
-def _run_system(name: str, suite: ExperimentSuite, *, attacks: bool, miners: int):
-    if name == "fairbfl":
-        _, hist = run_fairbfl(
-            suite.dataset(),
-            config=suite.fairbfl_config(num_miners=miners, enable_attacks=attacks),
-        )
-    elif name == "fairbfl-discard":
-        _, hist = run_fairbfl(
-            suite.dataset(),
-            config=suite.fairbfl_config(
-                num_miners=miners, strategy="discard", enable_attacks=attacks
-            ),
-        )
-    elif name == "fedavg":
-        _, hist = run_fedavg(suite.dataset(), config=suite.fedavg_config())
-    elif name == "fedprox":
-        _, hist = run_fedprox(suite.dataset(), config=suite.fedprox_config(drop_percent=0.02))
-    elif name == "blockchain":
-        _, hist = run_vanilla_blockchain(
-            config=suite.blockchain_config(num_workers=suite.num_clients, num_miners=miners)
-        )
-    else:  # pragma: no cover - argparse restricts the choices
-        raise ValueError(f"unknown system {name!r}")
-    return hist
+        backend=args.backend,
+        max_workers=args.workers,
+        model_name="logreg",
+        **overrides,
+    ).validate()
 
 
 def _print_history(name: str, hist) -> None:
@@ -124,31 +142,67 @@ def _print_history(name: str, hist) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    suite = _suite_from_args(args)
+    engine = ExperimentEngine()
 
     if args.command == "run":
-        hist = _run_system(args.system, suite, attacks=args.attacks, miners=args.miners)
+        try:
+            spec = _spec_from_args(args.system, args)
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        hist = engine.run(spec)
         _print_history(args.system, hist)
         if args.export:
             path = save_history_csv(hist, args.export)
             print(f"per-round series written to {path}")
         return 0
 
-    # compare
-    table = ComparisonResult(
-        title="System comparison (same workload, same seed)",
-        columns=["system", "avg_delay_s", "avg_accuracy", "final_accuracy"],
-    )
-    for name in SYSTEMS:
-        hist = _run_system(name, suite, attacks=args.attacks, miners=args.miners)
-        summary = summarize_history(hist)
-        table.add_row(
-            name, summary["average_delay"], summary["average_accuracy"], summary["final_accuracy"]
+    if args.command == "compare":
+        table = ComparisonResult(
+            title="System comparison (same workload, same seed)",
+            columns=["system", "avg_delay_s", "avg_accuracy", "final_accuracy"],
         )
+        try:
+            specs = {name: _spec_from_args(name, args) for name in SYSTEMS}
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for name in SYSTEMS:
+            hist = engine.run(specs[name])
+            summary = summarize_history(hist)
+            table.add_row(
+                name, summary["average_delay"], summary["average_accuracy"], summary["final_accuracy"]
+            )
+        print(table.to_text())
+        if args.export:
+            path = save_comparison_csv(table, args.export)
+            print(f"comparison written to {path}")
+        return 0
+
+    # sweep
+    try:
+        specs: list[ScenarioSpec] = []
+        for path in args.scenario:
+            specs.extend(load_scenario_file(path))
+        # Apply only the flags the user actually passed; a scenario file's own
+        # backend/max_workers settings are otherwise preserved.
+        overrides = {}
+        if args.backend is not None:
+            overrides["backend"] = args.backend
+        if args.workers is not None:
+            overrides["max_workers"] = args.workers
+        if overrides:
+            specs = [spec.with_overrides(**overrides) for spec in specs]
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    table, _results = engine.sweep_table(
+        specs, title=f"Scenario sweep ({len(specs)} scenario{'s' if len(specs) != 1 else ''})"
+    )
     print(table.to_text())
     if args.export:
         path = save_comparison_csv(table, args.export)
-        print(f"comparison written to {path}")
+        print(f"sweep summary written to {path}")
     return 0
 
 

@@ -13,7 +13,7 @@ from repro.core.flexibility import OperatingMode
 from repro.fl.client import LocalTrainingConfig
 from repro.incentive.contribution import ContributionConfig
 from repro.sim.delay import DelayParameters
-from repro.utils.validation import check_probability
+from repro.utils.validation import check_executor_settings, check_probability
 
 __all__ = ["FairBFLConfig"]
 
@@ -59,6 +59,14 @@ class FairBFLConfig:
         Difficulty of the functional proof of work (kept tiny by default).
     delay_params:
         Calibration constants of the delay model.
+    executor_backend:
+        How Procedure I fans out over the selected clients: ``"serial"``
+        (default; bit-identical to the original loop), ``"thread"`` or
+        ``"process"``.  All backends are deterministic because every client
+        draws from its own seeded RNG stream; see
+        :class:`repro.runner.executor.ParallelExecutor`.
+    executor_workers:
+        Worker count for the thread/process backends (``None`` = CPU count).
     seed:
         Experiment seed (controls everything: data split, selection, attacks,
         delays, mining winners).
@@ -82,9 +90,12 @@ class FairBFLConfig:
     use_real_pow: bool = True
     pow_difficulty: float = 16.0
     delay_params: DelayParameters = field(default_factory=DelayParameters)
+    executor_backend: str = "serial"
+    executor_workers: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
+        check_executor_settings(self.executor_backend, self.executor_workers)
         if self.num_miners <= 0:
             raise ValueError(f"num_miners must be positive, got {self.num_miners}")
         if self.num_rounds <= 0:

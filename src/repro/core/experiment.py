@@ -18,6 +18,7 @@ from repro.fl.client import LocalTrainingConfig
 from repro.fl.fedavg import FedAvgConfig, FedAvgTrainer
 from repro.fl.fedprox import FedProxConfig, FedProxTrainer
 from repro.fl.history import TrainingHistory
+from repro.runner.scenario import ScenarioSpec
 from repro.sim.delay import DelayParameters
 from repro.sim.vanilla_blockchain import VanillaBlockchainConfig, VanillaBlockchainSimulator
 from repro.utils.rng import new_rng
@@ -157,6 +158,63 @@ class ExperimentSuite:
     delay_params: DelayParameters = field(default_factory=DelayParameters)
     seed: int = 0
     _dataset_cache: dict[tuple, FederatedDataset] = field(default_factory=dict, repr=False)
+    _engine: object = field(default=None, repr=False)
+
+    # -- scenario-engine delegation --------------------------------------
+    @property
+    def engine(self):
+        """The suite's :class:`~repro.runner.engine.ExperimentEngine` (lazy)."""
+        if self._engine is None:
+            from repro.runner.engine import ExperimentEngine
+
+            self._engine = ExperimentEngine()
+        return self._engine
+
+    def spec(self, system: str = "fairbfl", **overrides) -> ScenarioSpec:
+        """A :class:`ScenarioSpec` at the suite's scale, with ``overrides`` applied.
+
+        This is the bridge between the hand-tuned suite used by the benchmark
+        harness and the declarative scenario layer: the spec's defaults are the
+        suite's fields, so ``suite.run(system)`` and the former per-figure
+        wiring produce identical histories.
+
+        A :class:`ScenarioSpec` cannot express custom delay calibrations or the
+        extra local-training knobs (``proximal_mu`` on the shared config,
+        ``weight_decay``), so rather than silently running with defaults this
+        raises when the suite carries non-default values for them — use the
+        explicit ``fairbfl_config()``-style builders for those experiments.
+        """
+        if self.delay_params != DelayParameters():
+            raise ValueError(
+                "ExperimentSuite.spec() cannot express custom delay_params; "
+                "use the config builders (fairbfl_config, ...) directly"
+            )
+        if self.local.proximal_mu != 0.0 or self.local.weight_decay != 0.0:
+            raise ValueError(
+                "ExperimentSuite.spec() cannot express local.proximal_mu/weight_decay; "
+                "use the config builders (fairbfl_config, ...) directly"
+            )
+        base = ScenarioSpec(
+            name=str(overrides.pop("name", system)),
+            system=system,
+            seed=self.seed,
+            num_clients=self.num_clients,
+            num_samples=self.num_samples,
+            num_rounds=self.num_rounds,
+            participation=self.participation_fraction,
+            scheme=self.scheme,
+            noise_std=self.noise_std,
+            low_quality_fraction=self.low_quality_fraction,
+            model_name=self.model_name,
+            epochs=self.local.epochs,
+            batch_size=self.local.batch_size,
+            learning_rate=self.local.learning_rate,
+        )
+        return base.with_overrides(**overrides) if overrides else base.validate()
+
+    def run(self, system: str = "fairbfl", **overrides) -> TrainingHistory:
+        """Run one system at the suite's scale through the experiment engine."""
+        return self.engine.run(self.spec(system, **overrides))
 
     # ------------------------------------------------------------------
     def dataset(self, *, num_clients: int | None = None, scheme: str | None = None) -> FederatedDataset:

@@ -38,8 +38,9 @@ from repro.fl.selection import ContributionBasedSelector, RandomSelector
 from repro.incentive.rewards import RewardLedger
 from repro.incentive.strategies import make_strategy
 from repro.nn.metrics import accuracy
-from repro.nn.models import build_model
+from repro.nn.models import ModelFactory
 from repro.nn.module import Module
+from repro.runner.executor import ParallelExecutor
 from repro.nn.parameters import get_flat_parameters, set_flat_parameters
 from repro.sim.delay import DelayModel
 from repro.utils.rng import new_rng
@@ -81,12 +82,15 @@ class FairBFLTrainer:
         num_classes = max(
             10, int(max(int(c.labels.max(initial=0)) for c in dataset.clients) + 1)
         )
-        self._model_factory: Callable[[], Module] = lambda: build_model(
-            config.model_name,
-            input_dim,
-            num_classes,
-            new_rng(seed, self.label, "model-init"),
-            hidden_sizes=config.hidden_sizes,
+        # A value-typed (picklable) factory: required so whole clients can be
+        # shipped to the process-backend workers of the parallel executor.
+        self._model_factory: Callable[[], Module] = ModelFactory(
+            model_name=config.model_name,
+            input_dim=input_dim,
+            num_classes=num_classes,
+            seed=seed,
+            label=self.label,
+            hidden_sizes=tuple(config.hidden_sizes),
         )
         self.global_model = self._model_factory()
         initial_parameters = get_flat_parameters(self.global_model)
@@ -137,6 +141,11 @@ class FairBFLTrainer:
                 min_attackers=config.min_attackers,
                 max_attackers=config.max_attackers,
             )
+
+        # -- execution -------------------------------------------------------------------
+        self.executor = ParallelExecutor(
+            config.executor_backend, config.executor_workers
+        )
 
         # -- timing / rng ----------------------------------------------------------------
         self.delay_model = DelayModel(config.delay_params, new_rng(seed, self.label, "delay"))
@@ -267,7 +276,7 @@ class FairBFLTrainer:
         ]
 
         if Procedure.LOCAL_UPDATE in procedures:
-            procedure_local_update(ctx, self.clients, cfg.local)
+            procedure_local_update(ctx, self.clients, cfg.local, executor=self.executor)
             self._apply_attacks(ctx)
         if Procedure.UPLOAD in procedures:
             procedure_upload(ctx, self.miners, self.keystore, self._upload_rng)
@@ -360,6 +369,17 @@ class FairBFLTrainer:
         for r in range(len(self.history), len(self.history) + rounds):
             self.run_round(r)
         return self.history
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release any worker pools held by the parallel executor."""
+        self.executor.close()
+
+    def __enter__(self) -> "FairBFLTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def detection_logs(self):

@@ -31,6 +31,11 @@ from repro.incentive.distance import cosine_distance_to_reference
 from repro.incentive.rewards import RewardEntry
 from repro.incentive.strategies import Strategy, StrategyOutcome
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.executor import ParallelExecutor
+
 __all__ = [
     "RoundContext",
     "procedure_local_update",
@@ -68,12 +73,25 @@ def procedure_local_update(
     ctx: RoundContext,
     clients: dict[int, FLClient],
     local_config: LocalTrainingConfig,
+    executor: "ParallelExecutor | None" = None,
 ) -> RoundContext:
-    """Every selected client trains locally starting from the latest global parameters."""
-    ctx.updates = [
-        clients[cid].local_update(ctx.global_parameters, local_config)
-        for cid in ctx.selected_clients
-    ]
+    """Every selected client trains locally starting from the latest global parameters.
+
+    With ``executor=None`` the clients run in the original serial loop; an
+    explicit :class:`~repro.runner.executor.ParallelExecutor` fans the same
+    per-client work out over its backend.  Updates are always returned in
+    selection order and every stochastic draw comes from the owning client's
+    private RNG stream, so the backend cannot change the numbers.
+    """
+    if executor is None:
+        ctx.updates = [
+            clients[cid].local_update(ctx.global_parameters, local_config)
+            for cid in ctx.selected_clients
+        ]
+    else:
+        ctx.updates = executor.run_local_updates(
+            clients, ctx.selected_clients, ctx.global_parameters, local_config
+        )
     return ctx
 
 
@@ -171,16 +189,15 @@ def procedure_global_update(
     # accuracy tracks FedAvg.  The direction-space θ above drive detection,
     # discarding, and rewards, where discrimination between clients is the point.
     agg_theta_values = cosine_distance_to_reference(matrix, base_global)
-    aggregation_thetas = {
-        int(cid): float(t) for cid, t in zip(client_ids, agg_theta_values)
-    }
     outcome = strategy.apply(
         matrix,
         client_ids,
         base_global,
         report,
         use_fair_aggregation=use_fair_aggregation,
-        aggregation_thetas=aggregation_thetas,
+        # Row-aligned θ vector: the strategies consume it directly, without a
+        # per-client dict round-trip.
+        aggregation_thetas=agg_theta_values,
     )
     ctx.contribution_report = report
     ctx.strategy_outcome = outcome

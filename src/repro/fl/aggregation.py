@@ -20,17 +20,28 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "AggregationError",
     "simple_average",
     "weighted_average",
     "contribution_weights",
     "fair_aggregate",
+    "stack_updates",
+    "aggregate_client_updates",
 ]
+
+
+class AggregationError(ValueError):
+    """An aggregation was asked to operate on invalid (e.g. empty) input.
+
+    Subclasses :class:`ValueError` so existing callers that catch the generic
+    type keep working; new code can catch the precise type.
+    """
 
 
 def _check_matrix(updates: np.ndarray) -> np.ndarray:
     m = np.asarray(updates, dtype=np.float64)
     if m.ndim != 2 or m.shape[0] == 0:
-        raise ValueError(
+        raise AggregationError(
             f"expected a non-empty (num_clients, dim) update matrix, got shape {m.shape}"
         )
     return m
@@ -50,14 +61,14 @@ def weighted_average(updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
     m = _check_matrix(updates)
     w = np.asarray(weights, dtype=np.float64).ravel()
     if w.shape[0] != m.shape[0]:
-        raise ValueError(
+        raise AggregationError(
             f"expected {m.shape[0]} weights (one per update), got {w.shape[0]}"
         )
     if np.any(w < 0):
-        raise ValueError("aggregation weights must be non-negative")
+        raise AggregationError("aggregation weights must be non-negative")
     total = w.sum()
     if total <= 0:
-        raise ValueError("aggregation weights must not all be zero")
+        raise AggregationError("aggregation weights must not all be zero")
     return (w[:, None] / total * m).sum(axis=0)
 
 
@@ -70,9 +81,9 @@ def contribution_weights(thetas: np.ndarray, *, eps: float = 1e-12) -> np.ndarra
     """
     t = np.asarray(thetas, dtype=np.float64).ravel()
     if t.shape[0] == 0:
-        raise ValueError("at least one contribution value is required")
+        raise AggregationError("at least one contribution value is required")
     if np.any(t < 0):
-        raise ValueError("contribution values (cosine distances) must be non-negative")
+        raise AggregationError("contribution values (cosine distances) must be non-negative")
     total = t.sum()
     if total < eps:
         return np.full(t.shape[0], 1.0 / t.shape[0])
@@ -92,3 +103,53 @@ def fair_aggregate(updates: np.ndarray, thetas: np.ndarray) -> np.ndarray:
     """
     weights = contribution_weights(thetas)
     return weighted_average(updates, weights)
+
+
+def stack_updates(updates: list) -> np.ndarray:
+    """Stack client updates into one ``(k, d)`` ``float64`` gradient matrix.
+
+    Accepts anything with a ``parameters`` attribute (e.g.
+    :class:`~repro.fl.client.ClientUpdate`) or raw vectors.  This is the single
+    entry point through which per-client objects become the stacked matrix the
+    vectorised aggregation/incentive kernels operate on.
+    """
+    if not updates:
+        raise AggregationError("cannot stack an empty list of client updates")
+    rows = [
+        np.asarray(getattr(u, "parameters", u), dtype=np.float64).ravel() for u in updates
+    ]
+    return np.stack(rows, axis=0)
+
+
+def aggregate_client_updates(
+    updates: list,
+    *,
+    scheme: str = "simple",
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Aggregate a list of client updates in one stacked, vectorised pass.
+
+    Parameters
+    ----------
+    updates:
+        Client updates (or raw vectors); see :func:`stack_updates`.
+    scheme:
+        ``"simple"`` (unweighted mean), ``"samples"`` (weight by each update's
+        ``num_samples`` attribute — classic FedAvg), or ``"weighted"``
+        (explicit ``weights``).
+    weights:
+        Required for ``scheme="weighted"``; ignored otherwise.
+    """
+    matrix = stack_updates(updates)
+    if scheme == "simple":
+        return simple_average(matrix)
+    if scheme == "samples":
+        sizes = np.array([float(getattr(u, "num_samples", 1.0)) for u in updates])
+        return weighted_average(matrix, sizes)
+    if scheme == "weighted":
+        if weights is None:
+            raise AggregationError("scheme='weighted' requires explicit weights")
+        return weighted_average(matrix, weights)
+    raise AggregationError(
+        f"unknown aggregation scheme {scheme!r}; expected 'simple', 'samples' or 'weighted'"
+    )

@@ -19,19 +19,25 @@ from repro.fl.client import FLClient, LocalTrainingConfig
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.selection import RandomSelector
 from repro.fl.server import CentralServer
-from repro.nn.models import build_model
+from repro.nn.models import ModelFactory
 from repro.nn.module import Module
+from repro.runner.executor import ParallelExecutor
 from repro.sim.delay import DelayModel, DelayParameters
 from repro.utils.rng import new_rng
 from repro.utils.timer import SimulatedClock
-from repro.utils.validation import check_probability
+from repro.utils.validation import check_executor_settings, check_probability
 
 __all__ = ["FedAvgConfig", "FedAvgTrainer"]
 
 
 @dataclass(frozen=True)
 class FedAvgConfig:
-    """Configuration of a FedAvg run (defaults follow the paper's Section 5.1)."""
+    """Configuration of a FedAvg run (defaults follow the paper's Section 5.1).
+
+    ``executor_backend`` / ``executor_workers`` select how the round's local
+    updates fan out (serial by default; see
+    :class:`repro.runner.executor.ParallelExecutor`).
+    """
 
     num_rounds: int = 100
     participation_fraction: float = 0.1
@@ -40,12 +46,15 @@ class FedAvgConfig:
     model_name: str = "mlp"
     hidden_sizes: tuple[int, ...] = (64,)
     delay_params: DelayParameters = field(default_factory=DelayParameters)
+    executor_backend: str = "serial"
+    executor_workers: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.num_rounds <= 0:
             raise ValueError(f"num_rounds must be positive, got {self.num_rounds}")
         check_probability("participation_fraction", self.participation_fraction)
+        check_executor_settings(self.executor_backend, self.executor_workers)
 
 
 class FedAvgTrainer:
@@ -65,12 +74,15 @@ class FedAvgTrainer:
             max(int(c.labels.max(initial=0)) for c in dataset.clients) + 1
         )
         num_classes = max(num_classes, 10)
-        self._model_factory: Callable[[], Module] = lambda: build_model(
-            config.model_name,
-            input_dim,
-            num_classes,
-            new_rng(config.seed, self.label, "model-init"),
-            hidden_sizes=config.hidden_sizes,
+        # Value-typed factory so clients can cross a process boundary when the
+        # executor uses the process backend.
+        self._model_factory: Callable[[], Module] = ModelFactory(
+            model_name=config.model_name,
+            input_dim=input_dim,
+            num_classes=num_classes,
+            seed=config.seed,
+            label=self.label,
+            hidden_sizes=tuple(config.hidden_sizes),
         )
         self.server = CentralServer(self._model_factory, aggregation=config.aggregation)
         self.clients = [
@@ -81,6 +93,8 @@ class FedAvgTrainer:
             )
             for shard in dataset.clients
         ]
+        self._clients_by_id = {client.client_id: client for client in self.clients}
+        self.executor = ParallelExecutor(config.executor_backend, config.executor_workers)
 
     # ------------------------------------------------------------------
     def _local_config(self) -> LocalTrainingConfig:
@@ -95,10 +109,12 @@ class FedAvgTrainer:
         """Execute one communication round and return its record."""
         selected = self.selector.select(len(self.clients), self._selection_rng)
         local_cfg = self._local_config()
-        updates = [
-            self.clients[int(cid)].local_update(self.server.global_parameters, local_cfg)
-            for cid in selected
-        ]
+        updates = self.executor.run_local_updates(
+            self._clients_by_id,
+            [int(cid) for cid in selected],
+            self.server.global_parameters,
+            local_cfg,
+        )
         updates = self._post_process_updates(updates, self._selection_rng)
         if not updates:
             # All selected clients were dropped; keep the previous global model.
@@ -150,3 +166,13 @@ class FedAvgTrainer:
     def test_accuracy(self) -> float:
         """Accuracy of the current global model on the held-out global test set."""
         return self.server.evaluate(self.dataset.test_images, self.dataset.test_labels)
+
+    def close(self) -> None:
+        """Release any worker pools held by the parallel executor."""
+        self.executor.close()
+
+    def __enter__(self) -> "FedAvgTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

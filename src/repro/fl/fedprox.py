@@ -57,6 +57,8 @@ class FedProxConfig(FedAvgConfig):
             model_name=base.model_name,
             hidden_sizes=base.hidden_sizes,
             delay_params=base.delay_params,
+            executor_backend=base.executor_backend,
+            executor_workers=base.executor_workers,
             seed=base.seed,
             proximal_mu=proximal_mu,
             drop_percent=drop_percent,

@@ -12,7 +12,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.fl.aggregation import simple_average, weighted_average
+from repro.fl.aggregation import AggregationError, aggregate_client_updates
 from repro.fl.client import ClientUpdate
 from repro.nn.metrics import accuracy
 from repro.nn.module import Module
@@ -50,15 +50,17 @@ class CentralServer:
         self.round_count = 0
 
     def aggregate(self, updates: list[ClientUpdate]) -> np.ndarray:
-        """Aggregate the round's client updates into new global parameters."""
+        """Aggregate the round's client updates into new global parameters.
+
+        Routes through the vectorised
+        :func:`~repro.fl.aggregation.aggregate_client_updates` path (one
+        stacked matrix, no per-client Python loops) and raises the same
+        :class:`~repro.fl.aggregation.AggregationError` as ``simple_average``
+        does on empty input.
+        """
         if not updates:
-            raise ValueError("cannot aggregate an empty list of client updates")
-        matrix = np.stack([u.parameters for u in updates], axis=0)
-        if self.aggregation == "simple":
-            new_global = simple_average(matrix)
-        else:
-            weights = np.array([u.num_samples for u in updates], dtype=np.float64)
-            new_global = weighted_average(matrix, weights)
+            raise AggregationError("cannot aggregate an empty list of client updates")
+        new_global = aggregate_client_updates(updates, scheme=self.aggregation)
         self.global_parameters = new_global
         set_flat_parameters(self.model, new_global)
         self.round_count += 1

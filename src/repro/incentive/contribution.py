@@ -178,16 +178,16 @@ def identify_contributions(
     else:
         high_mask = client_labels == global_label
 
-    high_ids = [cid for cid, keep in zip(ids, high_mask) if keep]
-    low_ids = [cid for cid, keep in zip(ids, high_mask) if not keep]
+    # Mask-based selection over the stacked matrix: ids, θ scores, and the
+    # reward apportioning all derive from one vectorised distance pass.
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    high_ids = [int(c) for c in ids_arr[high_mask]]
+    low_ids = [int(c) for c in ids_arr[~high_mask]]
 
     thetas_all = cosine_distance_to_reference(m, g)
-    thetas = {cid: float(t) for cid, t, keep in zip(ids, thetas_all, high_mask) if keep}
-    reward_list = apportion_rewards(
-        high_ids,
-        np.array([thetas[c] for c in high_ids], dtype=np.float64),
-        base_reward=cfg.base_reward,
-    )
+    high_thetas = thetas_all[high_mask]
+    thetas = {cid: float(t) for cid, t in zip(high_ids, high_thetas)}
+    reward_list = apportion_rewards(high_ids, high_thetas, base_reward=cfg.base_reward)
 
     return ContributionReport(
         high_contributors=high_ids,

@@ -43,8 +43,9 @@ def cosine_distance_to_reference(
     ref_norm = np.linalg.norm(r)
     sims = np.zeros(m.shape[0], dtype=np.float64)
     if ref_norm >= eps:
+        # One mat-vec over the full stacked matrix (no fancy-index copy);
+        # near-zero rows keep similarity 0 ("orthogonal") via the mask.
         valid = row_norms >= eps
-        sims[valid] = np.clip(
-            (m[valid] @ r) / (row_norms[valid] * ref_norm), -1.0, 1.0
-        )
+        dots = m @ r
+        sims[valid] = np.clip(dots[valid] / (row_norms[valid] * ref_norm), -1.0, 1.0)
     return 1.0 - sims

@@ -59,7 +59,7 @@ class Strategy:
         report: ContributionReport,
         *,
         use_fair_aggregation: bool = True,
-        aggregation_thetas: dict[int, float] | None = None,
+        aggregation_thetas: dict[int, float] | np.ndarray | None = None,
     ) -> StrategyOutcome:
         """Apply the strategy to one round's gradient set.
 
@@ -78,13 +78,26 @@ def _aggregate(
     report: ContributionReport,
     *,
     use_fair_aggregation: bool,
-    aggregation_thetas: dict[int, float] | None = None,
+    aggregation_thetas: dict[int, float] | np.ndarray | None = None,
 ) -> np.ndarray:
-    """Aggregate ``updates`` with Equation (1) weights (or plain averaging)."""
+    """Aggregate ``updates`` with Equation (1) weights (or plain averaging).
+
+    ``aggregation_thetas`` may be a length-``k`` vector row-aligned with
+    ``client_ids`` (the vectorised fast path used by the orchestrator) or a
+    ``{client_id: θ}`` mapping; absent entries default to 0.
+    """
     if not use_fair_aggregation:
         return simple_average(updates)
     source = aggregation_thetas if aggregation_thetas is not None else report.thetas
-    thetas = np.array([source.get(int(cid), 0.0) for cid in client_ids], dtype=np.float64)
+    if isinstance(source, np.ndarray):
+        thetas = np.asarray(source, dtype=np.float64).ravel()
+        if thetas.shape[0] != len(client_ids):
+            raise ValueError(
+                f"aggregation_thetas must align with client_ids, got {thetas.shape[0]} "
+                f"values for {len(client_ids)} clients"
+            )
+    else:
+        thetas = np.array([source.get(int(cid), 0.0) for cid in client_ids], dtype=np.float64)
     if thetas.sum() <= 0:
         return simple_average(updates)
     return fair_aggregate(updates, thetas)
@@ -103,7 +116,7 @@ class KeepAllStrategy(Strategy):
         report: ContributionReport,
         *,
         use_fair_aggregation: bool = True,
-        aggregation_thetas: dict[int, float] | None = None,
+        aggregation_thetas: dict[int, float] | np.ndarray | None = None,
     ) -> StrategyOutcome:
         ids = [int(c) for c in client_ids]
         new_global = _aggregate(
@@ -136,7 +149,7 @@ class DiscardStrategy(Strategy):
         report: ContributionReport,
         *,
         use_fair_aggregation: bool = True,
-        aggregation_thetas: dict[int, float] | None = None,
+        aggregation_thetas: dict[int, float] | np.ndarray | None = None,
     ) -> StrategyOutcome:
         m = np.asarray(updates, dtype=np.float64)
         ids = [int(c) for c in client_ids]
@@ -152,14 +165,19 @@ class DiscardStrategy(Strategy):
                 aggregation_thetas=aggregation_thetas,
             )
             return outcome
-        kept_ids = [cid for cid, keep in zip(ids, keep_mask) if keep]
-        dropped_ids = [cid for cid, keep in zip(ids, keep_mask) if not keep]
+        ids_arr = np.asarray(ids, dtype=np.int64)
+        kept_ids = [int(c) for c in ids_arr[keep_mask]]
+        dropped_ids = [int(c) for c in ids_arr[~keep_mask]]
+        kept_thetas = aggregation_thetas
+        if isinstance(kept_thetas, np.ndarray):
+            # Row-aligned vector: subset it alongside the update matrix.
+            kept_thetas = np.asarray(kept_thetas, dtype=np.float64).ravel()[keep_mask]
         new_global = _aggregate(
             m[keep_mask],
             kept_ids,
             report,
             use_fair_aggregation=use_fair_aggregation,
-            aggregation_thetas=aggregation_thetas,
+            aggregation_thetas=kept_thetas,
         )
         return StrategyOutcome(
             global_update=new_global,

@@ -13,12 +13,15 @@ without touching the orchestrator:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.nn.layers import Flatten, Linear, ReLU
 from repro.nn.module import Module, Sequential
+from repro.utils.rng import new_rng
 
-__all__ = ["LogisticRegressionModel", "MLPClassifier", "build_model"]
+__all__ = ["LogisticRegressionModel", "MLPClassifier", "build_model", "ModelFactory"]
 
 
 class LogisticRegressionModel(Sequential):
@@ -93,3 +96,38 @@ def build_model(
     if key in {"mlp", "mlp_classifier"}:
         return MLPClassifier(input_dim, num_classes, rng, hidden_sizes=hidden_sizes)
     raise ValueError(f"unknown model name {name!r}; expected 'logreg' or 'mlp'")
+
+
+@dataclass(frozen=True)
+class ModelFactory:
+    """Picklable zero-argument model builder.
+
+    The trainers hand every :class:`~repro.fl.client.FLClient` a factory for
+    its scratch model.  A plain ``lambda`` cannot cross a process boundary, so
+    the parallel executor's process backend requires this value-typed factory:
+    it derives the (deterministic) init RNG from ``(seed, label,
+    "model-init")`` on every call, exactly as the trainers' former lambdas did.
+
+    Attributes
+    ----------
+    model_name, input_dim, num_classes, hidden_sizes:
+        Forwarded to :func:`build_model`.
+    seed, label:
+        The trainer's seed and label, which pin the weight-init RNG stream.
+    """
+
+    model_name: str
+    input_dim: int
+    num_classes: int
+    seed: int
+    label: str
+    hidden_sizes: tuple[int, ...] = (64,)
+
+    def __call__(self) -> Module:
+        return build_model(
+            self.model_name,
+            self.input_dim,
+            self.num_classes,
+            new_rng(self.seed, self.label, "model-init"),
+            hidden_sizes=self.hidden_sizes,
+        )

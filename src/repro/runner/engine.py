@@ -1,0 +1,137 @@
+"""The experiment engine: one entry point for every run in the repository.
+
+The engine turns a validated :class:`~repro.runner.scenario.ScenarioSpec`
+into a trainer, runs it, and returns its
+:class:`~repro.fl.history.TrainingHistory`.  Federated datasets are memoised
+by their generating fields, so a sweep that varies only algorithmic knobs
+(learning rate, strategy, miner count, ...) partitions the data exactly once
+— the same guarantee :class:`repro.core.experiment.ExperimentSuite` gave the
+hand-wired benchmarks, now available to scenario files and the CLI alike.
+
+The heavy lifting of a round stays in :mod:`repro.core.procedures`; the
+engine's job is wiring (dataset → config → trainer → history) plus the
+scenario-level conveniences: :meth:`ExperimentEngine.run_many` for scenario
+lists and :meth:`ExperimentEngine.sweep_table` for the Figure-style summary
+tables the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiment import (
+    build_federated_dataset,
+    run_fairbfl,
+    run_fedavg,
+    run_fedprox,
+    run_vanilla_blockchain,
+)
+from repro.core.results import ComparisonResult, summarize_history
+from repro.datasets.federated import FederatedDataset
+from repro.fl.history import TrainingHistory
+from repro.runner.scenario import ScenarioSpec
+
+__all__ = ["ScenarioResult", "ExperimentEngine", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One executed scenario: the spec, its history, and the trainer label."""
+
+    spec: ScenarioSpec
+    history: TrainingHistory
+
+    @property
+    def summary(self) -> dict:
+        """The standard one-line summary of the run."""
+        return summarize_history(self.history)
+
+
+@dataclass
+class ExperimentEngine:
+    """Executes scenarios, memoising datasets across runs.
+
+    Attributes
+    ----------
+    cache_datasets:
+        When True (default) federated datasets are reused across scenarios
+        that share the same generating fields (clients, samples, scheme,
+        noise, seed), matching the benchmark suite's behaviour.
+    """
+
+    cache_datasets: bool = True
+    _dataset_cache: dict[tuple, FederatedDataset] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    def dataset_for(self, spec: ScenarioSpec) -> FederatedDataset:
+        """Build (or fetch the memoised) federated dataset for ``spec``."""
+        key = spec.dataset_key()
+        if not self.cache_datasets:
+            return self._build_dataset(spec)
+        if key not in self._dataset_cache:
+            self._dataset_cache[key] = self._build_dataset(spec)
+        return self._dataset_cache[key]
+
+    @staticmethod
+    def _build_dataset(spec: ScenarioSpec) -> FederatedDataset:
+        return build_federated_dataset(
+            num_clients=spec.num_clients,
+            num_samples=spec.num_samples,
+            scheme=spec.scheme,
+            seed=spec.seed,
+            noise_std=spec.noise_std,
+            low_quality_fraction=spec.low_quality_fraction,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, spec: ScenarioSpec) -> TrainingHistory:
+        """Execute one scenario end-to-end and return its history."""
+        spec.validate()
+        if spec.system in ("fairbfl", "fairbfl-discard"):
+            trainer, history = run_fairbfl(self.dataset_for(spec), config=spec.fairbfl_config())
+            trainer.close()
+        elif spec.system == "fedavg":
+            trainer, history = run_fedavg(self.dataset_for(spec), config=spec.fedavg_config())
+            trainer.close()
+        elif spec.system == "fedprox":
+            trainer, history = run_fedprox(self.dataset_for(spec), config=spec.fedprox_config())
+            trainer.close()
+        elif spec.system == "blockchain":
+            _, history = run_vanilla_blockchain(config=spec.blockchain_config())
+        else:  # pragma: no cover - validate() restricts the choices
+            raise ValueError(f"unknown system {spec.system!r}")
+        history.label = spec.name
+        return history
+
+    def run_many(self, specs: list[ScenarioSpec]) -> list[ScenarioResult]:
+        """Execute a list of scenarios (e.g. an expanded matrix) in order."""
+        return [ScenarioResult(spec=spec, history=self.run(spec)) for spec in specs]
+
+    def sweep_table(
+        self,
+        specs: list[ScenarioSpec],
+        *,
+        title: str = "Scenario sweep",
+    ) -> tuple[ComparisonResult, list[ScenarioResult]]:
+        """Run ``specs`` and tabulate the per-scenario summaries."""
+        results = self.run_many(specs)
+        table = ComparisonResult(
+            title=title,
+            columns=["scenario", "system", "rounds", "avg_delay_s", "avg_accuracy", "final_accuracy"],
+        )
+        for result in results:
+            summary = result.summary
+            table.add_row(
+                result.spec.name,
+                result.spec.system,
+                summary["rounds"],
+                summary["average_delay"],
+                summary["average_accuracy"],
+                summary["final_accuracy"],
+            )
+        return table, results
+
+
+def run_scenario(spec: ScenarioSpec) -> TrainingHistory:
+    """Convenience wrapper: execute one scenario with a throwaway engine."""
+    return ExperimentEngine().run(spec)

@@ -1,0 +1,198 @@
+"""Parallel execution of Procedure I (local updates) across clients.
+
+The seed implementation ran every selected client's local update in a serial
+Python list comprehension.  :class:`ParallelExecutor` turns that fan-out into
+a pluggable backend:
+
+* ``serial`` — the original loop, bit-identical to the seed behaviour and the
+  default everywhere (tests, CLI, benchmarks);
+* ``thread`` — a :class:`concurrent.futures.ThreadPoolExecutor`; NumPy releases
+  the GIL inside large kernels, so threads overlap the matrix work;
+* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`; client
+  objects (data shard, scratch model, RNG) are shipped to the workers once at
+  pool creation and only the per-round inputs travel per task.
+
+Determinism is preserved across all three backends because every stochastic
+draw of a local update comes from the *owning client's* private RNG stream
+(see :mod:`repro.utils.rng`): streams never interleave, so the execution order
+of clients cannot change the numbers.  For the process backend the client RNG
+state is shipped with each task and the advanced state is restored onto the
+coordinator's client object afterwards, so a process-backed run consumes
+exactly the same stream positions as a serial one and histories stay
+bit-identical between backends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate, FLClient, LocalTrainingConfig
+
+__all__ = ["EXECUTOR_BACKENDS", "ParallelExecutor", "resolve_worker_count"]
+
+#: The supported fan-out backends, in increasing order of isolation.
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_worker_count(max_workers: int | None) -> int:
+    """Resolve ``max_workers`` (``None`` means one worker per available CPU)."""
+    if max_workers is None:
+        return max(1, os.cpu_count() or 1)
+    workers = int(max_workers)
+    if workers <= 0:
+        raise ValueError(f"max_workers must be positive, got {max_workers}")
+    return workers
+
+
+# -- process-backend worker side ---------------------------------------------
+# The pool initializer installs the full client map in each worker process;
+# per-task payloads then only carry (client_id, global parameters, RNG state).
+_WORKER_CLIENTS: dict[int, FLClient] = {}
+
+
+def _process_pool_init(clients: dict[int, FLClient]) -> None:
+    global _WORKER_CLIENTS
+    _WORKER_CLIENTS = clients
+
+
+def _process_local_update(
+    client_id: int,
+    global_parameters: np.ndarray,
+    rng_state: dict,
+    local_config: LocalTrainingConfig,
+) -> tuple[ClientUpdate, dict]:
+    """Run one client's local update inside a worker process.
+
+    The caller-provided RNG state makes the worker consume exactly the stream
+    positions the coordinator's client would have consumed; the advanced state
+    travels back so the coordinator can stay in sync.
+    """
+    client = _WORKER_CLIENTS[client_id]
+    client.rng.bit_generator.state = rng_state
+    update = client.local_update(global_parameters, local_config)
+    return update, client.rng.bit_generator.state
+
+
+class ParallelExecutor:
+    """Fans ``FLClient.local_update`` out over the selected clients.
+
+    Parameters
+    ----------
+    backend:
+        One of :data:`EXECUTOR_BACKENDS`.
+    max_workers:
+        Worker count for the thread/process backends (default: CPU count).
+
+    Pools are created lazily on first use and reused across rounds; call
+    :meth:`close` (or use the executor as a context manager) to release them.
+    """
+
+    def __init__(self, backend: str = "serial", max_workers: int | None = None) -> None:
+        key = str(backend).strip().lower()
+        if key not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {backend!r}; expected one of: "
+                + ", ".join(EXECUTOR_BACKENDS)
+            )
+        self.backend = key
+        self.max_workers = resolve_worker_count(max_workers)
+        self._pool: Executor | None = None
+        self._pool_clients_key: int | None = None
+
+    # ------------------------------------------------------------------
+    def run_local_updates(
+        self,
+        clients: dict[int, FLClient],
+        selected: list[int],
+        global_parameters: np.ndarray,
+        local_config: LocalTrainingConfig,
+    ) -> list[ClientUpdate]:
+        """Run Procedure I for ``selected`` and return updates in that order."""
+        if self.backend == "serial":
+            return [
+                clients[cid].local_update(global_parameters, local_config)
+                for cid in selected
+            ]
+        if self.backend == "thread":
+            pool = self._ensure_thread_pool()
+            futures = [
+                pool.submit(clients[cid].local_update, global_parameters, local_config)
+                for cid in selected
+            ]
+            return [f.result() for f in futures]
+        return self._run_process(clients, selected, global_parameters, local_config)
+
+    def _run_process(
+        self,
+        clients: dict[int, FLClient],
+        selected: list[int],
+        global_parameters: np.ndarray,
+        local_config: LocalTrainingConfig,
+    ) -> list[ClientUpdate]:
+        pool = self._ensure_process_pool(clients)
+        futures = [
+            pool.submit(
+                _process_local_update,
+                cid,
+                global_parameters,
+                clients[cid].rng.bit_generator.state,
+                local_config,
+            )
+            for cid in selected
+        ]
+        updates: list[ClientUpdate] = []
+        for cid, future in zip(selected, futures):
+            update, rng_state = future.result()
+            # Re-sync the coordinator's client with the stream consumption and
+            # bookkeeping that happened in the worker.
+            clients[cid].rng.bit_generator.state = rng_state
+            clients[cid].rounds_participated += 1
+            updates.append(update)
+        return updates
+
+    # -- pool management ------------------------------------------------
+    def _ensure_thread_pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-local-update"
+            )
+        return self._pool
+
+    def _ensure_process_pool(self, clients: dict[int, FLClient]) -> Executor:
+        key = id(clients)
+        if self._pool is not None and self._pool_clients_key != key:
+            # A different client population: the workers' cached clients are
+            # stale, so the pool must be rebuilt.
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=ctx,
+                initializer=_process_pool_init,
+                initargs=(dict(clients),),
+            )
+            self._pool_clients_key = key
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down any worker pool this executor created."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_clients_key = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelExecutor(backend={self.backend!r}, max_workers={self.max_workers})"

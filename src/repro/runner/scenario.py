@@ -1,0 +1,441 @@
+"""Declarative experiment scenarios.
+
+A :class:`ScenarioSpec` is the single description of one experiment: which
+system runs (FAIR-BFL, a baseline, or the vanilla blockchain), the workload
+shape (clients, samples, rounds, partitioning), the algorithmic knobs
+(strategy, flexibility mode, attack mix, incentive parameters) and the
+execution backend.  Scenarios are plain data — they can be written as JSON or
+TOML files, swept as cartesian grids through :class:`ScenarioMatrix`, and
+executed by :class:`repro.runner.engine.ExperimentEngine` — so every benchmark
+and CLI subcommand drives through one engine instead of hand-rolled wiring.
+
+Validation is delegated to the authoritative config classes
+(:class:`repro.core.config.FairBFLConfig` and friends): building the configs
+eagerly in :meth:`ScenarioSpec.validate` means a scenario file can never
+drift from what `core/config.py` accepts.  All scenario problems are raised
+as :class:`ScenarioError` (a :class:`ValueError`) with the offending field
+named.
+
+See ``docs/scenarios.md`` for the field-by-field reference and
+``scenarios/`` for example files.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+
+from repro.core.config import FairBFLConfig
+from repro.core.flexibility import OperatingMode
+from repro.fl.client import LocalTrainingConfig
+from repro.fl.fedavg import FedAvgConfig
+from repro.fl.fedprox import FedProxConfig
+from repro.incentive.contribution import ContributionConfig
+from repro.runner.executor import EXECUTOR_BACKENDS
+from repro.sim.vanilla_blockchain import VanillaBlockchainConfig
+
+__all__ = [
+    "SCENARIO_SYSTEMS",
+    "ScenarioError",
+    "ScenarioSpec",
+    "ScenarioMatrix",
+    "scenarios_from_mapping",
+    "load_scenario_file",
+]
+
+#: Systems a scenario can run; mirrors the CLI ``run`` choices.
+SCENARIO_SYSTEMS = ("fairbfl", "fairbfl-discard", "fedavg", "fedprox", "blockchain")
+
+_PARTITION_SCHEMES = ("iid", "shard", "dirichlet")
+
+
+class ScenarioError(ValueError):
+    """A scenario file or mapping is malformed or fails validation."""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-specified experiment (see ``docs/scenarios.md``).
+
+    Field defaults deliberately match the laptop-scale defaults of
+    :class:`repro.core.experiment.ExperimentSuite`, so a scenario that sets
+    nothing but ``system`` reproduces the benchmark harness's baseline
+    workload.
+    """
+
+    # -- identity -------------------------------------------------------
+    name: str = "scenario"
+    system: str = "fairbfl"
+    seed: int = 0
+    # -- workload shape -------------------------------------------------
+    num_clients: int = 20
+    num_samples: int = 1500
+    num_rounds: int = 10
+    participation: float = 0.5
+    scheme: str = "dirichlet"
+    noise_std: float = 0.4
+    low_quality_fraction: float = 0.0
+    # -- model / local training ----------------------------------------
+    model_name: str = "logreg"
+    hidden_sizes: tuple[int, ...] = (64,)
+    epochs: int = 2
+    batch_size: int = 10
+    learning_rate: float = 0.05
+    proximal_mu: float = 0.01
+    drop_percent: float = 0.0
+    # -- blockchain / flexibility --------------------------------------
+    miners: int = 2
+    mode: str = "bfl"
+    verify_signatures: bool = True
+    use_real_pow: bool = True
+    pow_difficulty: float = 16.0
+    # -- incentive ------------------------------------------------------
+    strategy: str = "keep"
+    use_fair_aggregation: bool = True
+    clustering: str = "dbscan"
+    dbscan_eps: float = 0.7
+    dbscan_min_samples: int = 3
+    base_reward: float = 1.0
+    # -- attacks --------------------------------------------------------
+    attacks: bool = False
+    attack_name: str = "sign_flip"
+    min_attackers: int = 1
+    max_attackers: int = 3
+    # -- execution ------------------------------------------------------
+    backend: str = "serial"
+    max_workers: int | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        """All settable scenario fields, in declaration order."""
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def from_mapping(cls, mapping: dict) -> "ScenarioSpec":
+        """Build and validate a spec from a plain mapping (JSON/TOML payload).
+
+        Unknown keys are rejected (with the misspelt key named) rather than
+        silently ignored, and scalar values are coerced to the field types.
+        """
+        if not isinstance(mapping, dict):
+            raise ScenarioError(
+                f"a scenario must be a mapping of fields, got {type(mapping).__name__}"
+            )
+        known = {f.name: f for f in fields(cls)}
+        values: dict[str, object] = {}
+        for key, raw in mapping.items():
+            if key not in known:
+                raise ScenarioError(
+                    f"unknown scenario field {key!r}; valid fields: "
+                    + ", ".join(sorted(known))
+                )
+            values[key] = _coerce(key, raw, cls.__dataclass_fields__[key].type)
+        spec = cls(**values)
+        spec.validate()
+        return spec
+
+    def to_mapping(self) -> dict:
+        """The spec as a JSON/TOML-serialisable mapping."""
+        out: dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            if value is None:
+                continue
+            out[f.name] = value
+        return out
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        """A copy of this spec with ``overrides`` applied (and re-validated)."""
+        spec = replace(self, **overrides)
+        spec.validate()
+        return spec
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "ScenarioSpec":
+        """Validate the spec by building the authoritative config objects."""
+        if self.system not in SCENARIO_SYSTEMS:
+            raise ScenarioError(
+                f"unknown system {self.system!r}; expected one of: "
+                + ", ".join(SCENARIO_SYSTEMS)
+            )
+        if self.scheme not in _PARTITION_SCHEMES:
+            raise ScenarioError(
+                f"unknown partition scheme {self.scheme!r}; expected one of: "
+                + ", ".join(_PARTITION_SCHEMES)
+            )
+        if self.backend not in EXECUTOR_BACKENDS:
+            raise ScenarioError(
+                f"unknown backend {self.backend!r}; expected one of: "
+                + ", ".join(EXECUTOR_BACKENDS)
+            )
+        for field_name in ("num_clients", "num_samples"):
+            if int(getattr(self, field_name)) <= 0:
+                raise ScenarioError(
+                    f"{field_name} must be positive, got {getattr(self, field_name)}"
+                )
+        if self.max_workers is not None and int(self.max_workers) <= 0:
+            raise ScenarioError(f"max_workers must be positive, got {self.max_workers}")
+        if not (0.0 <= self.low_quality_fraction <= 1.0):
+            raise ScenarioError(
+                f"low_quality_fraction must be in [0, 1], got {self.low_quality_fraction}"
+            )
+        try:
+            # The config constructors carry the real validation rules; building
+            # them here keeps scenario validation in lockstep with core/config.py.
+            if self.system.startswith("fairbfl"):
+                self.fairbfl_config()
+            elif self.system == "fedavg":
+                self.fedavg_config()
+            elif self.system == "fedprox":
+                self.fedprox_config()
+            else:
+                self.blockchain_config()
+        except ScenarioError:
+            raise
+        except (ValueError, TypeError) as exc:
+            raise ScenarioError(f"invalid scenario {self.name!r}: {exc}") from exc
+        return self
+
+    # -- config builders ------------------------------------------------
+    def local_config(self) -> LocalTrainingConfig:
+        """The local-training hyper-parameters (``E``, ``B``, ``η``)."""
+        return LocalTrainingConfig(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+        )
+
+    def contribution_config(self) -> ContributionConfig:
+        """Algorithm 2 configuration derived from the incentive fields."""
+        return ContributionConfig(
+            algorithm=self.clustering,
+            eps=self.dbscan_eps,
+            min_samples=self.dbscan_min_samples,
+            base_reward=self.base_reward,
+            seed=self.seed,
+        )
+
+    def fairbfl_config(self) -> FairBFLConfig:
+        """The :class:`FairBFLConfig` this scenario describes."""
+        strategy = "discard" if self.system == "fairbfl-discard" else self.strategy
+        return FairBFLConfig(
+            num_miners=self.miners,
+            num_rounds=self.num_rounds,
+            participation_fraction=self.participation,
+            local=self.local_config(),
+            model_name=self.model_name,
+            hidden_sizes=self.hidden_sizes,
+            contribution=self.contribution_config(),
+            strategy=strategy,
+            use_fair_aggregation=self.use_fair_aggregation,
+            mode=OperatingMode.parse(self.mode),
+            enable_attacks=self.attacks,
+            attack_name=self.attack_name,
+            min_attackers=self.min_attackers,
+            max_attackers=self.max_attackers,
+            verify_signatures=self.verify_signatures,
+            use_real_pow=self.use_real_pow,
+            pow_difficulty=self.pow_difficulty,
+            executor_backend=self.backend,
+            executor_workers=self.max_workers,
+            seed=self.seed,
+        )
+
+    def fedavg_config(self) -> FedAvgConfig:
+        """The :class:`FedAvgConfig` this scenario describes."""
+        return FedAvgConfig(
+            num_rounds=self.num_rounds,
+            participation_fraction=self.participation,
+            local=self.local_config(),
+            model_name=self.model_name,
+            hidden_sizes=self.hidden_sizes,
+            executor_backend=self.backend,
+            executor_workers=self.max_workers,
+            seed=self.seed,
+        )
+
+    def fedprox_config(self) -> FedProxConfig:
+        """The :class:`FedProxConfig` this scenario describes."""
+        return FedProxConfig.from_fedavg(
+            self.fedavg_config(),
+            proximal_mu=self.proximal_mu,
+            drop_percent=self.drop_percent,
+        )
+
+    def blockchain_config(self) -> VanillaBlockchainConfig:
+        """The :class:`VanillaBlockchainConfig` this scenario describes."""
+        return VanillaBlockchainConfig(
+            num_workers=self.num_clients,
+            num_miners=self.miners,
+            num_rounds=self.num_rounds,
+            seed=self.seed,
+        )
+
+    def dataset_key(self) -> tuple:
+        """The fields that determine the federated dataset (cache key)."""
+        return (
+            self.num_clients,
+            self.num_samples,
+            self.scheme,
+            self.noise_std,
+            self.low_quality_fraction,
+            self.seed,
+        )
+
+
+def _coerce(key: str, value: object, annotation: str) -> object:
+    """Coerce a JSON/TOML scalar to the annotated field type."""
+    try:
+        if annotation == "int":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(f"expected an integer, got {value!r}")
+            if float(value) != int(value):
+                raise TypeError(f"expected an integer, got {value!r}")
+            return int(value)
+        if annotation == "float":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(f"expected a number, got {value!r}")
+            return float(value)
+        if annotation == "bool":
+            if not isinstance(value, bool):
+                raise TypeError(f"expected a boolean, got {value!r}")
+            return value
+        if annotation == "str":
+            if not isinstance(value, str):
+                raise TypeError(f"expected a string, got {value!r}")
+            return value
+        if annotation.startswith("tuple"):
+            if not isinstance(value, (list, tuple)):
+                raise TypeError(f"expected a list, got {value!r}")
+            return tuple(int(v) for v in value)
+        if annotation == "int | None":
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(f"expected an integer or null, got {value!r}")
+            return int(value)
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError(f"invalid value for scenario field {key!r}: {exc}") from exc
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """A cartesian sweep: one base spec plus per-field value lists.
+
+    ``expand()`` produces one named :class:`ScenarioSpec` per grid point, e.g.
+    a matrix over ``learning_rate = [0.01, 0.05]`` and ``strategy = ["keep",
+    "discard"]`` yields four scenarios named
+    ``base[learning_rate=0.01,strategy=keep]`` and so on.
+    """
+
+    base: ScenarioSpec
+    grid: dict
+
+    def expand(self) -> list[ScenarioSpec]:
+        """All grid points as validated specs (base order × declaration order)."""
+        if not isinstance(self.grid, dict):
+            raise ScenarioError(
+                f"matrix must map field names to value lists, got {type(self.grid).__name__}"
+            )
+        axes: list[tuple[str, list]] = []
+        valid = set(ScenarioSpec.field_names())
+        for key, values in self.grid.items():
+            if key not in valid:
+                raise ScenarioError(
+                    f"unknown matrix field {key!r}; valid fields: " + ", ".join(sorted(valid))
+                )
+            if not isinstance(values, (list, tuple)) or len(values) == 0:
+                raise ScenarioError(
+                    f"matrix field {key!r} must map to a non-empty list of values"
+                )
+            axes.append((key, list(values)))
+        if not axes:
+            return [self.base.validate()]
+        specs: list[ScenarioSpec] = []
+        base_map = self.base.to_mapping()
+        for combo in itertools.product(*(values for _, values in axes)):
+            point = dict(zip((k for k, _ in axes), combo))
+            label = ",".join(f"{k}={v}" for k, v in point.items())
+            merged = {**base_map, **point, "name": f"{self.base.name}[{label}]"}
+            specs.append(ScenarioSpec.from_mapping(merged))
+        return specs
+
+
+def scenarios_from_mapping(data: dict, *, default_name: str = "scenario") -> list[ScenarioSpec]:
+    """Expand a parsed scenario document into a list of validated specs.
+
+    Three document shapes are accepted:
+
+    * a flat mapping of :class:`ScenarioSpec` fields — one scenario;
+    * ``{"base": {...}, "matrix": {field: [values, ...]}}`` — a cartesian sweep;
+    * ``{"base": {...}, "scenarios": [{...}, ...]}`` — an explicit list, each
+      entry overriding the shared base.
+    """
+    if not isinstance(data, dict):
+        raise ScenarioError(
+            f"a scenario document must be a mapping, got {type(data).__name__}"
+        )
+    if "scenarios" in data and "matrix" in data:
+        raise ScenarioError("a scenario document cannot have both 'scenarios' and 'matrix'")
+    if "scenarios" in data:
+        entries = data["scenarios"]
+        if not isinstance(entries, list) or not entries:
+            raise ScenarioError("'scenarios' must be a non-empty list of scenario mappings")
+        base = data.get("base", {})
+        if not isinstance(base, dict):
+            raise ScenarioError("'base' must be a mapping of scenario fields")
+        # Top-level keys other than the structural ones are shared fields too,
+        # exactly as in the matrix shape below.
+        extra = {k: v for k, v in data.items() if k not in {"base", "scenarios", "name"}}
+        prefix = str(data.get("name", default_name))
+        specs = []
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise ScenarioError(f"scenario entry {index} must be a mapping")
+            merged = {**extra, **base, **entry}
+            merged.setdefault("name", f"{prefix}-{index}")
+            specs.append(ScenarioSpec.from_mapping(merged))
+        return specs
+    if "matrix" in data:
+        base_fields = dict(data.get("base", {}))
+        if not isinstance(data.get("base", {}), dict):
+            raise ScenarioError("'base' must be a mapping of scenario fields")
+        extra = {k: v for k, v in data.items() if k not in {"base", "matrix"}}
+        base_fields = {**extra, **base_fields}
+        base_fields.setdefault("name", default_name)
+        base = ScenarioSpec.from_mapping(base_fields)
+        return ScenarioMatrix(base, data["matrix"]).expand()
+    mapping = dict(data)
+    mapping.setdefault("name", default_name)
+    return [ScenarioSpec.from_mapping(mapping)]
+
+
+def load_scenario_file(path: str | Path) -> list[ScenarioSpec]:
+    """Load and expand a ``.json`` or ``.toml`` scenario file."""
+    p = Path(path)
+    if not p.exists():
+        raise ScenarioError(f"scenario file not found: {p}")
+    suffix = p.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(p.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid JSON in {p}: {exc}") from exc
+    elif suffix == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(p.read_text(encoding="utf-8"))
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"invalid TOML in {p}: {exc}") from exc
+    else:
+        raise ScenarioError(
+            f"unsupported scenario file type {suffix!r} for {p}; use .json or .toml"
+        )
+    return scenarios_from_mapping(data, default_name=p.stem)

@@ -14,6 +14,7 @@ __all__ = [
     "check_non_negative",
     "check_probability",
     "check_in_range",
+    "check_executor_settings",
 ]
 
 
@@ -51,6 +52,24 @@ def check_probability(name: str, value: float) -> float:
     if not (0.0 <= v <= 1.0):
         raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
     return v
+
+
+def check_executor_settings(backend: str, workers: int | None) -> str:
+    """Validate a (backend, worker-count) pair for the parallel executor.
+
+    Lives here (rather than in :mod:`repro.runner.executor`) so the frozen
+    config dataclasses can validate eagerly without importing the executor
+    machinery at module-import time.
+    """
+    valid = ("serial", "thread", "process")
+    key = str(backend).strip().lower()
+    if key not in valid:
+        raise ValueError(
+            f"executor_backend must be one of {', '.join(valid)}, got {backend!r}"
+        )
+    if workers is not None and int(workers) <= 0:
+        raise ValueError(f"executor_workers must be positive or None, got {workers!r}")
+    return key
 
 
 def check_in_range(

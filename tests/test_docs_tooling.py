@@ -1,0 +1,102 @@
+"""Documentation freshness and CLI help-snapshot tests.
+
+Two guards that keep the docs truthful as the code grows:
+
+* the ``--help`` output of the CLI must match the committed snapshot
+  (``docs/cli_help.txt``) — regenerate with
+  ``REGEN_SNAPSHOTS=1 PYTHONPATH=src python -m pytest tests/test_docs_tooling.py``;
+* ``tools/check_docs.py`` must pass: every public module has a docstring,
+  README's benchmark map matches the ``benchmarks/`` directory, and
+  ``docs/scenarios.md`` documents every ``ScenarioSpec`` field.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import build_parser, main
+from repro.runner.scenario import ScenarioSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SNAPSHOT = REPO_ROOT / "docs" / "cli_help.txt"
+
+
+def _render_help() -> str:
+    """The top-level --help text at a pinned 80-column width."""
+    previous = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "80"
+    try:
+        return build_parser().format_help()
+    finally:
+        if previous is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = previous
+
+
+class TestCliHelpSnapshot:
+    def test_help_matches_snapshot(self):
+        text = _render_help()
+        if os.environ.get("REGEN_SNAPSHOTS") == "1":
+            SNAPSHOT.write_text(text, encoding="utf-8")
+        assert SNAPSHOT.exists(), "docs/cli_help.txt snapshot is missing"
+        assert text == SNAPSHOT.read_text(encoding="utf-8"), (
+            "CLI --help drifted from docs/cli_help.txt; regenerate with "
+            "REGEN_SNAPSHOTS=1 PYTHONPATH=src python -m pytest tests/test_docs_tooling.py"
+        )
+
+    def test_help_mentions_every_subcommand(self):
+        text = _render_help()
+        for subcommand in ("run", "compare", "sweep"):
+            assert subcommand in text
+
+    def test_sweep_reports_malformed_scenario(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"learning_rte": 0.1}')
+        code = main(["sweep", "--scenario", str(bad)])
+        assert code == 2
+        assert "learning_rte" in capsys.readouterr().err
+
+    def test_sweep_runs_scenario_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "mini.json"
+        spec_file.write_text(
+            '{"system": "blockchain", "num_clients": 6, "num_rounds": 2}'
+        )
+        export = tmp_path / "sweep.csv"
+        code = main(["sweep", "--scenario", str(spec_file), "--export", str(export)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario sweep" in out and "mini" in out
+        assert export.read_text().splitlines()[0].startswith("scenario,system")
+
+
+class TestDocsFreshness:
+    def test_check_docs_passes(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, f"docs-check failed:\n{result.stderr}"
+
+    def test_scenario_reference_covers_all_fields(self):
+        doc = (REPO_ROOT / "docs" / "scenarios.md").read_text(encoding="utf-8")
+        missing = [f for f in ScenarioSpec.field_names() if f"`{f}`" not in doc]
+        assert not missing, f"docs/scenarios.md missing fields: {missing}"
+
+    def test_readme_benchmark_map_is_fresh(self):
+        import re
+
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        referenced = set(re.findall(r"benchmarks/(bench_\w+\.py)", readme))
+        existing = {p.name for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")}
+        assert referenced == existing

@@ -1,0 +1,115 @@
+"""Docs-freshness checker.
+
+Fails (exit code 1) when the documentation has drifted from the code:
+
+1. a public module under ``src/repro`` lacks a module docstring;
+2. ``README.md`` references a ``benchmarks/bench_*.py`` file that does not
+   exist, or a benchmark file exists that the README's figure/table map does
+   not mention;
+3. ``docs/scenarios.md`` is missing a ``ScenarioSpec`` field (the scenario
+   reference must cover every field, with its default);
+4. an example scenario file under ``scenarios/`` fails to load/validate.
+
+Run from the repository root:
+
+.. code-block:: bash
+
+   PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def _ensure_importable() -> None:
+    if str(SRC_ROOT) not in sys.path:
+        sys.path.insert(0, str(SRC_ROOT))
+
+
+def check_module_docstrings() -> list[str]:
+    """Every public module under src/repro must open with a docstring."""
+    problems = []
+    for path in sorted(SRC_ROOT.glob("repro/**/*.py")):
+        rel = path.relative_to(REPO_ROOT)
+        if path.name != "__init__.py" and path.name.startswith("_"):
+            continue  # private helper modules are exempt
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if ast.get_docstring(tree) is None:
+            problems.append(f"{rel}: public module lacks a module docstring")
+    return problems
+
+
+def check_readme_benchmarks() -> list[str]:
+    """README's benchmark table and benchmarks/ must reference each other."""
+    problems = []
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    referenced = set(re.findall(r"benchmarks/(bench_\w+\.py)", readme))
+    existing = {p.name for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")}
+    for name in sorted(referenced - existing):
+        problems.append(f"README.md references nonexistent benchmark file benchmarks/{name}")
+    for name in sorted(existing - referenced):
+        problems.append(f"benchmarks/{name} is not mentioned in README.md's benchmark map")
+    return problems
+
+
+def check_scenario_reference() -> list[str]:
+    """docs/scenarios.md must document every ScenarioSpec field."""
+    _ensure_importable()
+    from repro.runner.scenario import ScenarioSpec
+
+    problems = []
+    doc = (REPO_ROOT / "docs" / "scenarios.md").read_text(encoding="utf-8")
+    for field_name in ScenarioSpec.field_names():
+        if not re.search(rf"`{re.escape(field_name)}`", doc):
+            problems.append(f"docs/scenarios.md does not document ScenarioSpec field {field_name!r}")
+    return problems
+
+
+def check_example_scenarios() -> list[str]:
+    """Every example scenario file must load and validate."""
+    _ensure_importable()
+    from repro.runner.scenario import ScenarioError, load_scenario_file
+
+    problems = []
+    scenario_dir = REPO_ROOT / "scenarios"
+    files = sorted(
+        list(scenario_dir.glob("*.json")) + list(scenario_dir.glob("*.toml"))
+    )
+    if not files:
+        problems.append("scenarios/ contains no example scenario files")
+    for path in files:
+        try:
+            specs = load_scenario_file(path)
+        except ScenarioError as exc:
+            problems.append(f"{path.relative_to(REPO_ROOT)}: {exc}")
+            continue
+        if not specs:
+            problems.append(f"{path.relative_to(REPO_ROOT)}: expands to zero scenarios")
+    return problems
+
+
+def main() -> int:
+    problems = (
+        check_module_docstrings()
+        + check_readme_benchmarks()
+        + check_scenario_reference()
+        + check_example_scenarios()
+    )
+    for problem in problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s) found", file=sys.stderr)
+        return 1
+    print("docs-check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
