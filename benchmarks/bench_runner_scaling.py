@@ -18,10 +18,9 @@ the bench still reports the measured ratio without asserting it.
 
 from __future__ import annotations
 
-import os
 import time
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json, visible_cpus
 from repro.core.results import ComparisonResult
 from repro.runner.engine import ExperimentEngine
 from repro.runner.scenario import ScenarioSpec
@@ -30,13 +29,6 @@ CLIENT_COUNTS = (10, 50, 200)
 BACKENDS = ("serial", "thread", "process")
 SPEEDUP_TARGET = 0.6
 MIN_CPUS_FOR_SPEEDUP_ASSERT = 4
-
-
-def _available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _scaling_spec(num_clients: int, backend: str) -> ScenarioSpec:
@@ -69,6 +61,7 @@ def _sweep():
     for n in CLIENT_COUNTS:
         timings: dict[str, float] = {}
         fingerprints: dict[str, tuple] = {}
+        sim_delays: dict[str, float] = {}
         for backend in BACKENDS:
             spec = _scaling_spec(n, backend)
             engine.dataset_for(spec)  # exclude the (shared) partitioning cost
@@ -76,19 +69,21 @@ def _sweep():
             history = engine.run(spec)
             timings[backend] = time.perf_counter() - start
             fingerprints[backend] = _fingerprint(history)
-        rows.append((n, timings, fingerprints))
+            sim_delays[backend] = history.average_delay()
+        rows.append((n, timings, fingerprints, sim_delays))
     return rows
 
 
 def test_runner_scaling(benchmark):
     rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    cpus = _available_cpus()
+    cpus = visible_cpus()
 
     table = ComparisonResult(
         title="Runner scaling -- wall-clock (s) of 2 FAIR-BFL rounds per backend",
         columns=["clients", "serial_s", "thread_s", "process_s", "process/serial"],
     )
-    for n, timings, _prints in rows:
+    measurements = []
+    for n, timings, _prints, sim_delays in rows:
         table.add_row(
             n,
             timings["serial"],
@@ -96,21 +91,42 @@ def test_runner_scaling(benchmark):
             timings["process"],
             timings["process"] / timings["serial"],
         )
+        for backend in BACKENDS:
+            measurements.append(
+                {
+                    "label": f"n={n},backend={backend}",
+                    "clients": n,
+                    "backend": backend,
+                    "wall_time_s": timings[backend],
+                    "simulated_avg_delay_s": sim_delays[backend],
+                }
+            )
     table.notes.append(f"CPUs visible to this process: {cpus}")
     table.notes.append(
         f"speed-up target (process <= {SPEEDUP_TARGET}x serial at {CLIENT_COUNTS[-1]} clients) "
         + ("asserted" if cpus >= MIN_CPUS_FOR_SPEEDUP_ASSERT else f"not asserted with only {cpus} CPU(s)")
     )
     emit(table, "runner_scaling.txt")
+    emit_json(
+        "runner_scaling",
+        config={
+            "client_counts": list(CLIENT_COUNTS),
+            "backends": list(BACKENDS),
+            "rounds_per_run": 2,
+            "cpus_visible": cpus,
+        },
+        measurements=measurements,
+        notes=["histories are asserted bit-identical across backends"],
+    )
 
     # Determinism: every backend produced the exact same history at every scale.
-    for n, _timings, fingerprints in rows:
+    for n, _timings, fingerprints, _delays in rows:
         assert fingerprints["serial"] == fingerprints["thread"] == fingerprints["process"], (
             f"backend histories diverged at {n} clients"
         )
     # Speed: with real parallel hardware the process backend must win big.
     if cpus >= MIN_CPUS_FOR_SPEEDUP_ASSERT:
-        _n, timings, _prints = rows[-1]
+        _n, timings, _prints, _delays = rows[-1]
         ratio = timings["process"] / timings["serial"]
         assert ratio <= SPEEDUP_TARGET, (
             f"process backend too slow: {ratio:.2f}x serial at {CLIENT_COUNTS[-1]} clients"

@@ -14,6 +14,9 @@ EXPERIMENTS.md).  The qualitative conclusions -- orderings, crossovers, trends
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import sys
 from pathlib import Path
 
@@ -30,12 +33,47 @@ from repro.fl.client import LocalTrainingConfig  # noqa: E402
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
+def visible_cpus() -> int:
+    """CPUs visible to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def emit(table: ComparisonResult, filename: str) -> None:
     """Print a reproduction table and persist it under benchmarks/results/."""
     text = table.to_text()
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+
+
+def emit_json(name: str, *, config: dict, measurements: list[dict], notes: list[str] | None = None) -> Path:
+    """Persist a machine-readable benchmark record as ``benchmarks/results/BENCH_<name>.json``.
+
+    The schema is deliberately small and stable so the perf trajectory can be
+    diffed across PRs: ``config`` captures the workload knobs, each entry of
+    ``measurements`` pairs a label with its wall-clock seconds and (where
+    meaningful) the simulated per-round delay.  Environment facts that affect
+    wall-clock (python version, CPU count visible to the process) ride along.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": name,
+        "config": config,
+        "measurements": measurements,
+        "notes": list(notes or []),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": visible_cpus(),
+        },
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\nmachine-readable record written to {path}")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -101,19 +101,31 @@ class ForkModel:
             return 0.0
         return 1.0 - (1.0 - self.base_fork_probability) ** (num_miners - 1)
 
+    def sample_collisions(self, rng: np.random.Generator, num_miners: int) -> int:
+        """Sample how many runner-ups collide with the winner in one competition."""
+        if num_miners <= 1:
+            return 0
+        return int(rng.binomial(num_miners - 1, self.base_fork_probability))
+
+    def merge_schedule(self, collisions: int) -> list[float]:
+        """Per-merge durations for ``collisions`` simultaneous forks.
+
+        Merges are serialised reorganisations, one per colliding branch; each
+        extra simultaneous branch compounds the per-merge effort slightly.
+        The event kernel schedules these back to back, and their sum is the
+        closed-form fork cost ``merge_cost · c · (1 + 0.25·(c − 1))``.
+        """
+        if collisions <= 0:
+            return []
+        per_merge = float(self.merge_cost * (1.0 + 0.25 * (collisions - 1)))
+        return [per_merge] * collisions
+
     def sample_fork_delay(self, rng: np.random.Generator, num_miners: int) -> tuple[int, float]:
         """Sample ``(fork_count, extra_delay_seconds)`` for one mining competition.
 
         Every runner-up independently collides with the winner with probability
-        ``base_fork_probability``; each collision costs one merge.  The returned
-        delay additionally grows mildly with the number of simultaneous forks
-        (merging k competing branches requires serialised reorganisations).
+        ``base_fork_probability``; each collision costs one serialised merge
+        from :meth:`merge_schedule`.
         """
-        if num_miners <= 1:
-            return 0, 0.0
-        collisions = int(rng.binomial(num_miners - 1, self.base_fork_probability))
-        if collisions == 0:
-            return 0, 0.0
-        # Each extra simultaneous branch compounds the merge effort slightly.
-        delay = float(self.merge_cost * collisions * (1.0 + 0.25 * (collisions - 1)))
-        return collisions, delay
+        collisions = self.sample_collisions(rng, num_miners)
+        return collisions, float(sum(self.merge_schedule(collisions)))

@@ -6,15 +6,49 @@ and the round cannot complete until every gradient is recorded (paper
 Section 3.1 and the queueing knee of Figure 6a).  The :class:`Mempool`
 implements that mechanism: it accepts transactions, and :meth:`take_block`
 pops as many as fit under the size limit in FIFO order.
+
+In the event-driven simulation (:mod:`repro.sim.rounds`) the mempool is the
+queueing actor of the chain layer: every block-solve event drains one
+:meth:`take_block` batch, so the number of mining competitions a round pays is
+exactly :meth:`blocks_required` — both methods share one packing rule.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Iterable, Iterator
 
 from repro.blockchain.transaction import Transaction
 
-__all__ = ["Mempool"]
+__all__ = ["Mempool", "pack_block_counts"]
+
+
+def pack_block_counts(sizes: Iterable[int], capacity: int) -> Iterator[int]:
+    """Yield how many FIFO transactions each successive block takes.
+
+    One packing rule shared by :meth:`Mempool.take_block` (which materialises
+    only the first count) and :meth:`Mempool.blocks_required` (which sums all
+    of them): a block closes when adding the next transaction would exceed
+    ``capacity``, except that a block always takes at least one transaction —
+    an oversized transaction occupies a block by itself (a real chain would
+    reject it; for the simulation a too-large gradient simply misses sharing a
+    block, matching the paper's discussion of large gradients).
+    """
+    count = 0
+    used = 0
+    for size in sizes:
+        if count and used + size > capacity:
+            yield count
+            count = 0
+            used = 0
+        count += 1
+        used += size
+        if used >= capacity:
+            yield count
+            count = 0
+            used = 0
+    if count:
+        yield count
 
 
 class Mempool:
@@ -32,6 +66,7 @@ class Mempool:
         self.block_size_bytes = int(block_size_bytes)
         self._queue: deque[Transaction] = deque()
         self._seen_ids: set[str] = set()
+        self._pending_bytes = 0
 
     def submit(self, tx: Transaction) -> bool:
         """Add a transaction to the pool; duplicates (same tx_id) are ignored.
@@ -43,6 +78,7 @@ class Mempool:
             return False
         self._seen_ids.add(tx_id)
         self._queue.append(tx)
+        self._pending_bytes += tx.payload_size_bytes
         return True
 
     def submit_many(self, txs: list[Transaction]) -> int:
@@ -52,24 +88,18 @@ class Mempool:
     def take_block(self) -> list[Transaction]:
         """Pop the FIFO prefix of transactions that fits in one block.
 
-        At least one transaction is always returned when the pool is non-empty,
-        even if that single transaction exceeds the block size (a real chain
-        would reject it; for the simulation an oversized gradient simply
-        occupies a block by itself, which matches the paper's discussion of
-        large gradients missing the current block).
+        At least one transaction is always returned when the pool is non-empty
+        (see :func:`pack_block_counts` for the oversized-transaction rule).
         """
-        taken: list[Transaction] = []
-        used = 0
-        while self._queue:
-            nxt = self._queue[0]
-            if taken and used + nxt.payload_size_bytes > self.block_size_bytes:
-                break
-            taken.append(self._queue.popleft())
-            used += nxt.payload_size_bytes
-            if used >= self.block_size_bytes:
-                break
+        if not self._queue:
+            return []
+        count = next(
+            pack_block_counts((tx.payload_size_bytes for tx in self._queue), self.block_size_bytes)
+        )
+        taken = [self._queue.popleft() for _ in range(count)]
         for tx in taken:
             self._seen_ids.discard(tx.tx_id)
+            self._pending_bytes -= tx.payload_size_bytes
         return taken
 
     def blocks_required(self, txs: list[Transaction] | None = None) -> int:
@@ -79,29 +109,13 @@ class Mempool:
         count: a round only completes once *all* gradient transactions are
         on-chain (Section 3.1), so the round delay scales with this number.
         """
-        if txs is None:
-            sizes = [tx.payload_size_bytes for tx in self._queue]
-        else:
-            sizes = [tx.payload_size_bytes for tx in txs]
-        if not sizes:
-            return 0
-        blocks = 0
-        used = 0
-        filled_any = False
-        for size in sizes:
-            if filled_any and used + size > self.block_size_bytes:
-                blocks += 1
-                used = 0
-                filled_any = False
-            used += size
-            filled_any = True
-            if used >= self.block_size_bytes:
-                blocks += 1
-                used = 0
-                filled_any = False
-        if filled_any:
-            blocks += 1
-        return blocks
+        source = self._queue if txs is None else txs
+        return sum(
+            1
+            for _ in pack_block_counts(
+                (tx.payload_size_bytes for tx in source), self.block_size_bytes
+            )
+        )
 
     @property
     def pending_count(self) -> int:
@@ -110,13 +124,14 @@ class Mempool:
 
     @property
     def pending_bytes(self) -> int:
-        """Total payload bytes currently queued."""
-        return sum(tx.payload_size_bytes for tx in self._queue)
+        """Total payload bytes currently queued (maintained incrementally)."""
+        return self._pending_bytes
 
     def clear(self) -> None:
         """Drop every queued transaction."""
         self._queue.clear()
         self._seen_ids.clear()
+        self._pending_bytes = 0
 
     def __len__(self) -> int:
         return len(self._queue)

@@ -7,6 +7,7 @@ Run the reproduced systems without writing any Python:
    python -m repro.cli run fairbfl --clients 12 --rounds 8
    python -m repro.cli run fedavg  --clients 12 --rounds 8
    python -m repro.cli run fairbfl --backend process --workers 4
+   python -m repro.cli run fairbfl --round-mode semi_sync --straggler-deadline 4
    python -m repro.cli compare --clients 12 --rounds 8 --export results.csv
    python -m repro.cli sweep --scenario scenarios/example_sweep.toml
 
@@ -21,7 +22,8 @@ All three subcommands drive through the same
 and a scenario file with the same parameters produce identical histories.
 The ``--backend`` flag selects how each round's local updates fan out
 (``serial`` | ``thread`` | ``process``); results are bit-identical across
-backends.
+backends.  ``--round-mode`` selects the round discipline for the FAIR-BFL
+systems (``sync`` | ``semi_sync`` | ``async``; see ``docs/scenarios.md``).
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.core.results import ComparisonResult, summarize_history
 from repro.runner.engine import ExperimentEngine
 from repro.runner.executor import EXECUTOR_BACKENDS
 from repro.runner.scenario import ScenarioError, ScenarioSpec, load_scenario_file
+from repro.sim.rounds import ROUND_MODES
 
 __all__ = ["build_parser", "main"]
 
@@ -58,10 +61,39 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--epochs", type=int, default=2, help="local epochs E")
         p.add_argument("--batch-size", type=int, default=10, help="local batch size B")
         p.add_argument("--scheme", default="dirichlet", choices=["iid", "shard", "dirichlet"])
+        add_round_mode(p)
         p.add_argument("--attacks", action="store_true", help="enable 1-3 malicious clients per round")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--export", default=None, help="write the per-round series to this CSV file")
         add_backend(p)
+
+    def add_round_mode(p: argparse.ArgumentParser, *, default: str | None = "sync") -> None:
+        p.add_argument(
+            "--round-mode",
+            default=default,
+            choices=list(ROUND_MODES),
+            help="round discipline: sync waits for every client, semi_sync drops "
+            "stragglers at a deadline, async proceeds on a quorum with "
+            "staleness-weighted late aggregation (FAIR-BFL systems)",
+        )
+        p.add_argument(
+            "--straggler-deadline",
+            type=float,
+            default=6.0,
+            help="semi_sync upload-window deadline in simulated seconds",
+        )
+        p.add_argument(
+            "--async-quorum",
+            type=float,
+            default=0.5,
+            help="async mode: arrival fraction that closes the upload window",
+        )
+        p.add_argument(
+            "--staleness-decay",
+            type=float,
+            default=0.5,
+            help="async mode: exponent of the (1+staleness)^-decay weight on late updates",
+        )
 
     def add_backend(p: argparse.ArgumentParser, *, backend_default: str | None = "serial") -> None:
         p.add_argument(
@@ -95,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
     # For sweep the flags are *overrides* of what the scenario file says, so
     # their defaults must be distinguishable from an explicit value.
     add_backend(sweep_p, backend_default=None)
+    sweep_p.add_argument(
+        "--round-mode",
+        default=None,
+        choices=list(ROUND_MODES),
+        help="override the round discipline of every scenario in the sweep",
+    )
     return parser
 
 
@@ -116,6 +154,10 @@ def _spec_from_args(system: str, args: argparse.Namespace) -> ScenarioSpec:
         epochs=args.epochs,
         batch_size=args.batch_size,
         scheme=args.scheme,
+        round_mode=args.round_mode,
+        straggler_deadline=args.straggler_deadline,
+        async_quorum=args.async_quorum,
+        staleness_decay=args.staleness_decay,
         attacks=args.attacks,
         seed=args.seed,
         backend=args.backend,
@@ -191,6 +233,8 @@ def main(argv: list[str] | None = None) -> int:
             overrides["backend"] = args.backend
         if args.workers is not None:
             overrides["max_workers"] = args.workers
+        if args.round_mode is not None:
+            overrides["round_mode"] = args.round_mode
         if overrides:
             specs = [spec.with_overrides(**overrides) for spec in specs]
     except ScenarioError as exc:

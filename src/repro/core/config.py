@@ -13,6 +13,7 @@ from repro.core.flexibility import OperatingMode
 from repro.fl.client import LocalTrainingConfig
 from repro.incentive.contribution import ContributionConfig
 from repro.sim.delay import DelayParameters
+from repro.sim.rounds import ROUND_MODES
 from repro.utils.validation import check_executor_settings, check_probability
 
 __all__ = ["FairBFLConfig"]
@@ -44,6 +45,23 @@ class FairBFLConfig:
     mode:
         Operating mode (full BFL by default; see
         :class:`repro.core.flexibility.OperatingMode`).
+    round_mode:
+        Round synchronisation discipline (see
+        :mod:`repro.sim.rounds`): ``"sync"`` waits for every selected client,
+        ``"semi_sync"`` closes the upload window at ``straggler_deadline``
+        simulated seconds and drops later arrivals from the round,
+        ``"async"`` proceeds once ``async_quorum`` of the arrivals are in and
+        folds the stragglers into the next round with staleness-decayed
+        weights.
+    straggler_deadline:
+        Upload-window deadline in simulated seconds (``semi_sync`` only).
+    async_quorum:
+        Fraction of selected clients whose arrival closes the window
+        (``async`` only).
+    staleness_decay:
+        Exponent of the ``(1 + staleness) ** -decay`` weight applied to late
+        updates in ``async`` mode (see
+        :func:`repro.fl.aggregation.staleness_weights`).
     enable_attacks:
         Whether an :class:`~repro.attacks.scheduler.AttackScheduler` designates
         malicious clients each round (Table 2 protocol).
@@ -82,6 +100,10 @@ class FairBFLConfig:
     strategy: str = "keep"
     use_fair_aggregation: bool = True
     mode: OperatingMode | str = OperatingMode.BFL
+    round_mode: str = "sync"
+    straggler_deadline: float = 6.0
+    async_quorum: float = 0.5
+    staleness_decay: float = 0.5
     enable_attacks: bool = False
     attack_name: str = "sign_flip"
     min_attackers: int = 1
@@ -111,6 +133,18 @@ class FairBFLConfig:
             raise ValueError(
                 f"invalid attacker bounds ({self.min_attackers}, {self.max_attackers})"
             )
+        if self.round_mode not in ROUND_MODES:
+            raise ValueError(
+                f"round_mode must be one of {', '.join(ROUND_MODES)}, got {self.round_mode!r}"
+            )
+        if self.straggler_deadline <= 0.0:
+            raise ValueError(
+                f"straggler_deadline must be positive, got {self.straggler_deadline}"
+            )
+        if not (0.0 < self.async_quorum <= 1.0):
+            raise ValueError(f"async_quorum must lie in (0, 1], got {self.async_quorum}")
+        if self.staleness_decay < 0.0:
+            raise ValueError(f"staleness_decay must be >= 0, got {self.staleness_decay}")
         # Validate the mode eagerly so misconfiguration fails at construction.
         OperatingMode.parse(self.mode)
 

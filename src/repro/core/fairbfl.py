@@ -24,15 +24,18 @@ from repro.core.config import FairBFLConfig
 from repro.core.flexibility import OperatingMode, Procedure, procedures_for_mode
 from repro.core.procedures import (
     RoundContext,
+    apply_round_mode,
     procedure_exchange,
     procedure_global_update,
     procedure_local_update,
     procedure_mining,
     procedure_upload,
 )
+from repro.fl.aggregation import merge_stale_updates
+from repro.fl.client import ClientUpdate, FLClient
+from repro.incentive.distance import cosine_distance_to_reference
 from repro.crypto.keystore import KeyStore
 from repro.datasets.federated import FederatedDataset
-from repro.fl.client import FLClient
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.selection import ContributionBasedSelector, RandomSelector
 from repro.incentive.rewards import RewardLedger
@@ -42,7 +45,7 @@ from repro.nn.models import ModelFactory
 from repro.nn.module import Module
 from repro.runner.executor import ParallelExecutor
 from repro.nn.parameters import get_flat_parameters, set_flat_parameters
-from repro.sim.delay import DelayModel
+from repro.sim.rounds import EventRoundSimulator, RoundTiming
 from repro.utils.rng import new_rng
 from repro.utils.timer import SimulatedClock
 
@@ -148,7 +151,20 @@ class FairBFLTrainer:
         )
 
         # -- timing / rng ----------------------------------------------------------------
-        self.delay_model = DelayModel(config.delay_params, new_rng(seed, self.label, "delay"))
+        # One discrete-event simulation per round owns the timing: client
+        # uploads, miner exchanges, and block solves are scheduled events, and
+        # the round modes (semi_sync/async) read the arrival times to decide
+        # which gradients make the round.
+        self.round_sim = EventRoundSimulator(
+            config.delay_params,
+            new_rng(seed, self.label, "delay"),
+            round_mode=config.round_mode,
+            straggler_deadline=config.straggler_deadline,
+            async_quorum=config.async_quorum,
+            record_trace=True,
+        )
+        #: Async-mode carry-over: (parameter vector, origin round) per late update.
+        self._stale_buffer: list[tuple[np.ndarray, int]] = []
         self._selection_rng = new_rng(seed, self.label, "selection")
         self._upload_rng = new_rng(seed, self.label, "upload")
         self._mining_rng = new_rng(seed, self.label, "mining")
@@ -227,40 +243,96 @@ class FairBFLTrainer:
         ]
         return float(np.mean(accs))
 
-    def _round_delay(self, ctx: RoundContext, procedures: tuple[Procedure, ...]) -> dict:
-        """Sample the round's delay for exactly the procedures that ran."""
+    #: Procedure → simulation-stage name (Procedures I-V on the event kernel).
+    _PROCEDURE_STAGES = {
+        Procedure.LOCAL_UPDATE: "local",
+        Procedure.UPLOAD: "upload",
+        Procedure.EXCHANGE: "exchange",
+        Procedure.GLOBAL_UPDATE: "global",
+        Procedure.MINING: "mining",
+    }
+
+    def _round_timing(self, ctx: RoundContext, procedures: tuple[Procedure, ...]) -> RoundTiming:
+        """Simulate the round on the event kernel for exactly the procedures that ran.
+
+        Returns the full :class:`~repro.sim.rounds.RoundTiming` — the five-term
+        delay breakdown plus the per-client upload arrivals that the
+        semi-sync/async round modes act on.
+
+        Semantics note: the simulation runs *before* Procedure II (its arrival
+        times decide who uploads at all), so the aggregation term ``t_gl`` is
+        priced over the upload-window arrivals rather than the
+        post-signature-check gradient count the analytic model used.  The two
+        differ only when a signed upload is rejected, which the calibrated
+        scenarios never produce; callers that know a different gradient count
+        can pass ``num_gradients`` to
+        :meth:`~repro.sim.rounds.EventRoundSimulator.fairbfl_round`.
+        """
         cfg = self.config
-        num_participants = len(ctx.selected_clients)
-        sizes = [self.clients[cid].num_samples for cid in ctx.selected_clients] or [1]
-        batches_per_epoch = float(
-            np.mean([np.ceil(s / cfg.local.batch_size) for s in sizes])
-        )
-        breakdown_parts = {
-            "t_local": 0.0,
-            "t_up": 0.0,
-            "t_ex": 0.0,
-            "t_gl": 0.0,
-            "t_bl": 0.0,
+        batches = {
+            cid: float(np.ceil(self.clients[cid].num_samples / cfg.local.batch_size))
+            for cid in ctx.selected_clients
         }
-        if Procedure.LOCAL_UPDATE in procedures:
-            breakdown_parts["t_local"] = self.delay_model.local_training_delay(
-                num_participants, batches_per_epoch, cfg.local.epochs
+        return self.round_sim.fairbfl_round(
+            client_ids=list(ctx.selected_clients),
+            num_miners=cfg.num_miners,
+            batches_per_epoch=batches,
+            epochs=cfg.local.epochs,
+            with_clustering=True,
+            stages=frozenset(self._PROCEDURE_STAGES[p] for p in procedures),
+        )
+
+    #: Stale updates whose *direction* has cosine distance >= this bound to the
+    #: round's fresh consensus direction are rejected instead of blended
+    #: (distance 1 = orthogonal; sign-flipped forgeries land near 2).
+    STALE_ALIGNMENT_CUTOFF = 1.0
+
+    def _apply_stale_updates(self, ctx: RoundContext, round_index: int) -> None:
+        """Async mode: fold buffered late updates into the round's global parameters.
+
+        Every update that missed a previous round's quorum window joins this
+        round's aggregate with weight ``(1 + staleness) ** -staleness_decay``
+        (each on-time gradient carries unit weight; staleness is usually one
+        round, more if intermediate rounds could not aggregate), then the
+        caller buffers this round's own stragglers in turn.
+
+        Late updates never pass through Procedure II's signature check or
+        Algorithm 2's contribution filter — they arrive after the window those
+        defenses run in — so they are screened here instead: a stale update is
+        only blended if its update direction is positively aligned with the
+        round's fresh consensus direction (cosine distance below
+        :attr:`STALE_ALIGNMENT_CUTOFF`).  A sign-flipped or scaled-negative
+        forgery that deliberately straggles past the quorum is rejected, and
+        the rejection is reported in ``extras["stale_rejected"]``.
+        """
+        if not self._stale_buffer or ctx.new_global_parameters is None:
+            return
+        fresh_count = max(1, len(ctx.gradient_client_ids))
+        previous = np.asarray(ctx.global_parameters, dtype=np.float64)
+        fresh = np.asarray(ctx.new_global_parameters, dtype=np.float64)
+        stale_matrix = np.stack([vec for vec, _origin in self._stale_buffer], axis=0)
+        origins = np.array([origin for _vec, origin in self._stale_buffer])
+        fresh_delta = fresh - previous
+        if float(np.linalg.norm(fresh_delta)) > 1e-12:
+            thetas = cosine_distance_to_reference(
+                stale_matrix - previous[None, :], fresh_delta
             )
-        if Procedure.UPLOAD in procedures:
-            breakdown_parts["t_up"] = self.delay_model.upload_delay(num_participants)
-        if Procedure.EXCHANGE in procedures:
-            breakdown_parts["t_ex"] = self.delay_model.exchange_delay(cfg.num_miners)
-        if Procedure.GLOBAL_UPDATE in procedures:
-            num_gradients = (
-                len(ctx.gradient_client_ids) if ctx.gradient_client_ids else num_participants
+            keep = thetas < self.STALE_ALIGNMENT_CUTOFF
+        else:
+            # Degenerate round (no movement): no direction to screen against.
+            keep = np.ones(stale_matrix.shape[0], dtype=bool)
+        ctx.stale_rejected = int(np.count_nonzero(~keep))
+        if keep.any():
+            staleness = np.maximum(1.0, round_index - origins[keep]).astype(np.float64)
+            ctx.new_global_parameters = merge_stale_updates(
+                fresh,
+                fresh_count,
+                stale_matrix[keep],
+                staleness,
+                decay=self.config.staleness_decay,
             )
-            breakdown_parts["t_gl"] = self.delay_model.aggregation_delay(
-                num_gradients, with_clustering=True
-            )
-        if Procedure.MINING in procedures:
-            breakdown_parts["t_bl"] = self.delay_model.mining_delay(cfg.num_miners)
-        breakdown_parts["total"] = float(sum(v for k, v in breakdown_parts.items()))
-        return breakdown_parts
+            ctx.stale_applied = int(np.count_nonzero(keep))
+        self._stale_buffer = []
 
     # ------------------------------------------------------------------
     def run_round(self, round_index: int) -> RoundRecord:
@@ -278,6 +350,13 @@ class FairBFLTrainer:
         if Procedure.LOCAL_UPDATE in procedures:
             procedure_local_update(ctx, self.clients, cfg.local, executor=self.executor)
             self._apply_attacks(ctx)
+
+        # The event-driven simulation runs before Procedure II: the arrival
+        # times it produces decide which uploads make this round's window
+        # under the semi_sync/async disciplines.
+        timing = self._round_timing(ctx, procedures)
+        late_updates: list[ClientUpdate] = apply_round_mode(ctx, timing, cfg.round_mode)
+
         if Procedure.UPLOAD in procedures:
             procedure_upload(ctx, self.miners, self.keystore, self._upload_rng)
         if Procedure.EXCHANGE in procedures:
@@ -293,6 +372,17 @@ class FairBFLTrainer:
                 strategy=self.strategy,
                 use_fair_aggregation=cfg.use_fair_aggregation,
                 run_incentive=self.mode is not OperatingMode.FL_ONLY,
+            )
+        if cfg.round_mode == "async":
+            # Late arrivals from earlier rounds join this aggregate with
+            # staleness-decayed weights; this round's own stragglers are
+            # buffered for the next one.  Extending (not replacing) keeps
+            # entries alive across rounds that cannot aggregate, so an update
+            # can accrue staleness > 1 before it is finally folded in.
+            self._apply_stale_updates(ctx, round_index)
+            self._stale_buffer.extend(
+                (np.asarray(u.parameters, dtype=np.float64).copy(), round_index)
+                for u in late_updates
             )
         if Procedure.MINING in procedures and ctx.new_global_parameters is None:
             # Chain-only mode skips Procedure IV; the block still records the
@@ -332,15 +422,15 @@ class FairBFLTrainer:
             self.attack_scheduler.record_round(round_index, ctx.attacker_ids, discarded)
 
         # -- measurement --------------------------------------------------------------
-        breakdown = self._round_delay(ctx, procedures)
-        self.clock.advance(breakdown["total"])
+        breakdown = timing.breakdown.as_dict()
+        self.clock.advance(timing.total)
         acc = self._round_accuracy(ctx) if Procedure.LOCAL_UPDATE in procedures else 0.0
         train_loss = (
             float(np.mean([u.train_loss for u in ctx.updates])) if ctx.updates else 0.0
         )
         record = RoundRecord(
             round_index=round_index,
-            delay=breakdown["total"],
+            delay=timing.total,
             accuracy=acc,
             train_loss=train_loss,
             elapsed_time=self.clock.now,
@@ -358,6 +448,12 @@ class FairBFLTrainer:
                     if ctx.contribution_report is not None
                     else False
                 ),
+                "round_mode": cfg.round_mode,
+                "stragglers": list(ctx.straggler_ids),
+                "stale_applied": ctx.stale_applied,
+                "stale_rejected": ctx.stale_rejected,
+                "sim_events": timing.events_processed,
+                "event_trace_digest": timing.trace_digest,
             },
         )
         self.history.append(record)

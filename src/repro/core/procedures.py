@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runner.executor import ParallelExecutor
+    from repro.sim.rounds import RoundTiming
 
 __all__ = [
     "RoundContext",
@@ -43,6 +44,7 @@ __all__ = [
     "procedure_exchange",
     "procedure_global_update",
     "procedure_mining",
+    "apply_round_mode",
 ]
 
 
@@ -66,6 +68,9 @@ class RoundContext:
     winning_miner: str | None = None
     mined_block: Block | None = None
     rejected_uploads: int = 0
+    straggler_ids: list[int] = field(default_factory=list)
+    stale_applied: int = 0
+    stale_rejected: int = 0
 
 
 # -- Procedure I ------------------------------------------------------------
@@ -93,6 +98,29 @@ def procedure_local_update(
             clients, ctx.selected_clients, ctx.global_parameters, local_config
         )
     return ctx
+
+
+def apply_round_mode(
+    ctx: RoundContext, timing: "RoundTiming", round_mode: str
+) -> list[ClientUpdate]:
+    """Partition the round's updates by their simulated upload arrival.
+
+    Under ``sync`` every update is on time and the list returned is empty.
+    Under ``semi_sync``/``async`` the updates of clients that missed the
+    upload window (per ``timing.on_time_ids``) are removed from
+    ``ctx.updates`` — they never reach a miner this round — and returned to
+    the caller, which drops them (semi-sync stragglers, recorded in
+    ``ctx.straggler_ids``) or buffers them for staleness-weighted aggregation
+    in a later round (async).
+    """
+    if round_mode == "sync" or not ctx.updates:
+        return []
+    on_time = set(timing.on_time_ids)
+    late = [u for u in ctx.updates if u.client_id not in on_time]
+    if late:
+        ctx.updates = [u for u in ctx.updates if u.client_id in on_time]
+        ctx.straggler_ids = [u.client_id for u in late]
+    return late
 
 
 # -- Procedure II ------------------------------------------------------------

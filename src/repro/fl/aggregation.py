@@ -27,6 +27,8 @@ __all__ = [
     "fair_aggregate",
     "stack_updates",
     "aggregate_client_updates",
+    "staleness_weights",
+    "merge_stale_updates",
 ]
 
 
@@ -103,6 +105,58 @@ def fair_aggregate(updates: np.ndarray, thetas: np.ndarray) -> np.ndarray:
     """
     weights = contribution_weights(thetas)
     return weighted_average(updates, weights)
+
+
+def staleness_weights(staleness: np.ndarray, *, decay: float = 0.5) -> np.ndarray:
+    """Polynomial staleness discounting for asynchronous rounds.
+
+    An update that arrives ``s`` rounds late contributes with weight
+    ``(1 + s) ** -decay`` relative to a fresh update's weight of 1 — the
+    standard staleness function of asynchronous FL (Xie et al., FedAsync).
+    ``decay = 0`` treats stale updates as fresh; larger values discount them
+    harder.  Staleness values must be non-negative.
+    """
+    s = np.asarray(staleness, dtype=np.float64).ravel()
+    if np.any(s < 0):
+        raise AggregationError("staleness values must be non-negative")
+    if decay < 0:
+        raise AggregationError(f"staleness decay must be >= 0, got {decay}")
+    return (1.0 + s) ** (-float(decay))
+
+
+def merge_stale_updates(
+    fresh_global: np.ndarray,
+    fresh_count: int,
+    stale_updates: np.ndarray,
+    staleness: np.ndarray,
+    *,
+    decay: float = 0.5,
+) -> np.ndarray:
+    """Fold staleness-discounted late updates into an already-aggregated global.
+
+    ``fresh_global`` is the round's aggregate over ``fresh_count`` on-time
+    updates (each carrying unit weight); every row of ``stale_updates`` joins
+    the convex combination with weight :func:`staleness_weights` of its
+    ``staleness``.  With no stale rows the fresh aggregate is returned
+    unchanged.
+    """
+    if fresh_count <= 0:
+        raise AggregationError(f"fresh_count must be positive, got {fresh_count}")
+    stale = np.asarray(stale_updates, dtype=np.float64)
+    if stale.size == 0:
+        return np.asarray(fresh_global, dtype=np.float64).copy()
+    if stale.ndim != 2:
+        raise AggregationError(
+            f"expected a (num_stale, dim) stale-update matrix, got shape {stale.shape}"
+        )
+    w_stale = staleness_weights(staleness, decay=decay)
+    if w_stale.shape[0] != stale.shape[0]:
+        raise AggregationError(
+            f"expected {stale.shape[0]} staleness values, got {w_stale.shape[0]}"
+        )
+    rows = np.vstack([np.asarray(fresh_global, dtype=np.float64)[None, :], stale])
+    weights = np.concatenate([[float(fresh_count)], w_stale])
+    return weighted_average(rows, weights)
 
 
 def stack_updates(updates: list) -> np.ndarray:

@@ -1,10 +1,11 @@
 """FedAvg baseline trainer (McMahan et al., 2017).
 
 The baseline the paper labels "FedAvg": random client selection, local
-mini-batch SGD, and central aggregation.  The per-round delay is sampled from
-the shared :class:`~repro.sim.delay.DelayModel` (local training + upload +
-server aggregation — no ledger costs), so the delay comparisons of Figures 4a,
-5a, 6a and 7a pit all systems against the same timing substrate.
+mini-batch SGD, and central aggregation.  The per-round delay comes from the
+shared :class:`~repro.sim.delay.DelayModel` adapter — i.e. one event-kernel
+round of local training + upload + server aggregation, with no ledger costs —
+so the delay comparisons of Figures 4a, 5a, 6a and 7a pit all systems against
+the same discrete-event timing substrate.
 """
 
 from __future__ import annotations

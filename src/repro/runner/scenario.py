@@ -34,6 +34,7 @@ from repro.fl.fedavg import FedAvgConfig
 from repro.fl.fedprox import FedProxConfig
 from repro.incentive.contribution import ContributionConfig
 from repro.runner.executor import EXECUTOR_BACKENDS
+from repro.sim.rounds import ROUND_MODES
 from repro.sim.vanilla_blockchain import VanillaBlockchainConfig
 
 __all__ = [
@@ -88,6 +89,10 @@ class ScenarioSpec:
     # -- blockchain / flexibility --------------------------------------
     miners: int = 2
     mode: str = "bfl"
+    round_mode: str = "sync"
+    straggler_deadline: float = 6.0
+    async_quorum: float = 0.5
+    staleness_decay: float = 0.5
     verify_signatures: bool = True
     use_real_pow: bool = True
     pow_difficulty: float = 16.0
@@ -173,6 +178,21 @@ class ScenarioSpec:
                 f"unknown backend {self.backend!r}; expected one of: "
                 + ", ".join(EXECUTOR_BACKENDS)
             )
+        if self.round_mode not in ROUND_MODES:
+            raise ScenarioError(
+                f"unknown round_mode {self.round_mode!r}; expected one of: "
+                + ", ".join(ROUND_MODES)
+            )
+        # Checked here (not only via FairBFLConfig) so scenarios for the
+        # baseline systems fail fast too, with a clean ScenarioError.
+        if self.straggler_deadline <= 0.0:
+            raise ScenarioError(
+                f"straggler_deadline must be positive, got {self.straggler_deadline}"
+            )
+        if not (0.0 < self.async_quorum <= 1.0):
+            raise ScenarioError(f"async_quorum must lie in (0, 1], got {self.async_quorum}")
+        if self.staleness_decay < 0.0:
+            raise ScenarioError(f"staleness_decay must be >= 0, got {self.staleness_decay}")
         for field_name in ("num_clients", "num_samples"):
             if int(getattr(self, field_name)) <= 0:
                 raise ScenarioError(
@@ -234,6 +254,10 @@ class ScenarioSpec:
             strategy=strategy,
             use_fair_aggregation=self.use_fair_aggregation,
             mode=OperatingMode.parse(self.mode),
+            round_mode=self.round_mode,
+            straggler_deadline=self.straggler_deadline,
+            async_quorum=self.async_quorum,
+            staleness_decay=self.staleness_decay,
             enable_attacks=self.attacks,
             attack_name=self.attack_name,
             min_attackers=self.min_attackers,

@@ -5,24 +5,50 @@ The paper's latency results are driven by five delay components
 T_ex, global-update computation T_gl, and block mining/consensus T_bl.  This
 package provides:
 
-* :mod:`repro.sim.delay` — stochastic models for each component and their
-  composition into per-round delays for FAIR-BFL, FedAvg/FedProx, and the
-  vanilla blockchain;
-* :mod:`repro.sim.forking` — fork-frequency/merge-cost accounting reused from
-  :mod:`repro.blockchain.consensus`;
+* :mod:`repro.sim.events` — the deterministic discrete-event kernel
+  (priority-queue scheduler, simulated clock, named processes, seeded
+  tie-breaking) that owns every simulated second in the repository;
+* :mod:`repro.sim.rounds` — event-driven round simulation: clients, miners,
+  the broadcast network, and the mempool act as kernel processes, with
+  ``sync`` / ``semi_sync`` / ``async`` round modes;
+* :mod:`repro.sim.delay` — the calibrated per-component samplers and the
+  :class:`~repro.sim.delay.DelayModel` adapter that reports kernel rounds as
+  the paper's ``T(n, m)`` breakdown (plus the closed-form
+  :class:`~repro.sim.delay.AnalyticDelayModel` calibration reference);
 * :mod:`repro.sim.vanilla_blockchain` — the vanilla-blockchain baseline used
   in Figures 4a, 6a, 6b and 7a: every local gradient becomes an on-chain
   transaction, blocks have a fixed size, and rounds only finish when all
   transactions are recorded.
 """
 
-from repro.sim.delay import DelayModel, DelayParameters, RoundDelayBreakdown
+from repro.sim.delay import (
+    AnalyticDelayModel,
+    DelayModel,
+    DelayParameters,
+    RoundDelayBreakdown,
+)
+from repro.sim.events import EventKernel, EventKernelError, ScheduledEvent, Signal
+from repro.sim.rounds import (
+    ROUND_MODES,
+    ClientArrival,
+    EventRoundSimulator,
+    RoundTiming,
+)
 from repro.sim.vanilla_blockchain import VanillaBlockchainConfig, VanillaBlockchainSimulator
 
 __all__ = [
+    "AnalyticDelayModel",
     "DelayModel",
     "DelayParameters",
     "RoundDelayBreakdown",
+    "EventKernel",
+    "EventKernelError",
+    "ScheduledEvent",
+    "Signal",
+    "ROUND_MODES",
+    "ClientArrival",
+    "EventRoundSimulator",
+    "RoundTiming",
     "VanillaBlockchainConfig",
     "VanillaBlockchainSimulator",
 ]

@@ -25,6 +25,15 @@ The default parameter values (see :class:`DelayParameters`) are calibrated so
 the headline numbers land in the paper's reported ranges (FedAvg ≈ 5–7 s,
 FAIR-BFL ≈ 9–11 s, vanilla blockchain ≈ 14–16 s per round for n=100, m=2);
 the *shape* conclusions are insensitive to the exact constants.
+
+Since the discrete-event refactor, :class:`DelayModel` is a thin adapter over
+the event kernel: the per-component *samplers* stay here (they are the
+calibrated primitives), but the round *compositions* (``fairbfl_round``,
+``fl_round``, ``vanilla_blockchain_round``) run one
+:class:`~repro.sim.rounds.EventRoundSimulator` round and report its stage
+boundaries as the familiar :class:`RoundDelayBreakdown`.  The original
+closed-form compositions live on in :class:`AnalyticDelayModel`, which the
+parity tests hold the kernel against (``tests/test_delay_parity.py``).
 """
 
 from __future__ import annotations
@@ -36,7 +45,12 @@ import numpy as np
 from repro.blockchain.consensus import ForkModel
 from repro.utils.validation import check_non_negative, check_positive
 
-__all__ = ["DelayParameters", "RoundDelayBreakdown", "DelayModel"]
+__all__ = [
+    "DelayParameters",
+    "RoundDelayBreakdown",
+    "DelayModel",
+    "AnalyticDelayModel",
+]
 
 
 @dataclass(frozen=True)
@@ -131,6 +145,12 @@ class RoundDelayBreakdown:
 class DelayModel:
     """Samples per-round delays for FAIR-BFL, the FL baselines, and vanilla blockchain.
 
+    The component samplers below are the calibrated primitives of Section 4.6;
+    the round compositions delegate to the discrete-event kernel
+    (:class:`~repro.sim.rounds.EventRoundSimulator`), so one scheduler owns
+    every simulated second.  Use :class:`AnalyticDelayModel` for the original
+    closed-form compositions.
+
     Parameters
     ----------
     params:
@@ -142,6 +162,17 @@ class DelayModel:
     def __init__(self, params: DelayParameters, rng: np.random.Generator) -> None:
         self.params = params
         self.rng = rng
+        self._simulator = None
+
+    @property
+    def simulator(self):
+        """The kernel-backed round simulator (lazily built, shares ``rng``)."""
+        if self._simulator is None:
+            # Imported here: repro.sim.rounds imports this module's dataclasses.
+            from repro.sim.rounds import EventRoundSimulator
+
+            self._simulator = EventRoundSimulator(self.params, self.rng)
+        return self._simulator
 
     # -- individual components -------------------------------------------------
     def local_training_delay(
@@ -193,7 +224,7 @@ class DelayModel:
         """Sample (fork_count, merge_delay) for one vanilla-chain mining competition."""
         return self.params.fork_model.sample_fork_delay(self.rng, num_miners)
 
-    # -- per-protocol round compositions ----------------------------------------
+    # -- per-protocol round compositions (kernel-backed) -------------------------
     def fairbfl_round(
         self,
         *,
@@ -204,13 +235,13 @@ class DelayModel:
         with_clustering: bool = True,
     ) -> RoundDelayBreakdown:
         """One FAIR-BFL round: all five components, one block, no forks (Assumptions 1+2)."""
-        return RoundDelayBreakdown(
-            t_local=self.local_training_delay(num_participants, batches_per_epoch, epochs),
-            t_up=self.upload_delay(num_participants),
-            t_ex=self.exchange_delay(num_miners),
-            t_gl=self.aggregation_delay(num_participants, with_clustering=with_clustering),
-            t_bl=self.mining_delay(num_miners),
-        )
+        return self.simulator.fairbfl_round(
+            client_ids=num_participants,
+            num_miners=num_miners,
+            batches_per_epoch=batches_per_epoch,
+            epochs=epochs,
+            with_clustering=with_clustering,
+        ).breakdown
 
     def fl_round(
         self,
@@ -220,11 +251,11 @@ class DelayModel:
         epochs: int,
     ) -> RoundDelayBreakdown:
         """One FedAvg/FedProx round: local training + upload + server aggregation."""
-        return RoundDelayBreakdown(
-            t_local=self.local_training_delay(num_participants, batches_per_epoch, epochs),
-            t_up=self.upload_delay(num_participants),
-            t_gl=self.params.server_aggregation_time,
-        )
+        return self.simulator.fl_round(
+            client_ids=num_participants,
+            batches_per_epoch=batches_per_epoch,
+            epochs=epochs,
+        ).breakdown
 
     def vanilla_blockchain_round(
         self,
@@ -244,6 +275,68 @@ class DelayModel:
         (vanilla *BFL*), the FL-side components are added as well; the pure
         blockchain baseline of Fig. 4a leaves them out.
         """
+        return self.simulator.vanilla_round(
+            num_transactions=num_transactions,
+            num_miners=num_miners,
+            include_learning=include_learning,
+            client_ids=num_participants,
+            batches_per_epoch=batches_per_epoch,
+            epochs=epochs,
+        ).breakdown
+
+
+class AnalyticDelayModel(DelayModel):
+    """The original closed-form compositions of Section 4.6.
+
+    Kept as the calibration reference: ``tests/test_delay_parity.py`` asserts
+    the kernel-simulated means of :class:`DelayModel` land inside the ranges
+    this model defines.  Use it when a cheap scalar sample is enough and no
+    per-client arrival information is needed.
+    """
+
+    def fairbfl_round(
+        self,
+        *,
+        num_participants: int,
+        num_miners: int,
+        batches_per_epoch: float,
+        epochs: int,
+        with_clustering: bool = True,
+    ) -> RoundDelayBreakdown:
+        """Closed form: the five components summed independently."""
+        return RoundDelayBreakdown(
+            t_local=self.local_training_delay(num_participants, batches_per_epoch, epochs),
+            t_up=self.upload_delay(num_participants),
+            t_ex=self.exchange_delay(num_miners),
+            t_gl=self.aggregation_delay(num_participants, with_clustering=with_clustering),
+            t_bl=self.mining_delay(num_miners),
+        )
+
+    def fl_round(
+        self,
+        *,
+        num_participants: int,
+        batches_per_epoch: float,
+        epochs: int,
+    ) -> RoundDelayBreakdown:
+        """Closed form: local training + upload + fixed server aggregation."""
+        return RoundDelayBreakdown(
+            t_local=self.local_training_delay(num_participants, batches_per_epoch, epochs),
+            t_up=self.upload_delay(num_participants),
+            t_gl=self.params.server_aggregation_time,
+        )
+
+    def vanilla_blockchain_round(
+        self,
+        *,
+        num_transactions: int,
+        num_miners: int,
+        include_learning: bool = False,
+        num_participants: int = 0,
+        batches_per_epoch: float = 0.0,
+        epochs: int = 0,
+    ) -> RoundDelayBreakdown:
+        """Closed form: queued blocks, per-transaction handling, fork merges."""
         if num_transactions < 0:
             raise ValueError(f"num_transactions must be >= 0, got {num_transactions}")
         blocks_required = max(

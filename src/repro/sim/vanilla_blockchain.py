@@ -6,11 +6,15 @@ blocks have a bounded size so transactions queue across blocks, every mined
 block risks a fork whose merge cost grows with the miner count, and the round
 only completes once all of the round's transactions are recorded.
 
-The simulator below actually exercises the ledger machinery — transactions are
-built and (optionally) RSA-signed, queued in a :class:`~repro.blockchain.mempool.Mempool`,
-packed into blocks, linked and appended to every miner's replica — while the
-*timing* of each step is drawn from :class:`~repro.sim.delay.DelayModel`, so
-the baseline is both functionally real and fast enough to sweep.
+The simulator below actually exercises the ledger machinery *on the event
+kernel*: transactions are built and (optionally) RSA-signed, queued in a
+:class:`~repro.blockchain.mempool.Mempool`, and every block is created at a
+proof-of-work solve **event** — the winning miner's
+:meth:`~repro.blockchain.miner.Miner.schedule_solve` fires first, drains one
+:meth:`~repro.blockchain.mempool.Mempool.take_block` batch, builds the block,
+and the replicas append it; fork merges are scheduled reorganisation events.
+Chain state and round timing therefore come from one simulation
+(:class:`~repro.sim.rounds.EventRoundSimulator`) and cannot disagree.
 """
 
 from __future__ import annotations
@@ -26,7 +30,8 @@ from repro.blockchain.miner import Miner
 from repro.blockchain.transaction import make_gradient_transaction
 from repro.crypto.keystore import KeyStore
 from repro.fl.history import RoundRecord, TrainingHistory
-from repro.sim.delay import DelayModel, DelayParameters
+from repro.sim.delay import DelayParameters
+from repro.sim.rounds import EventRoundSimulator
 from repro.utils.rng import new_rng
 from repro.utils.timer import SimulatedClock
 
@@ -83,7 +88,7 @@ class VanillaBlockchainSimulator:
     def __init__(self, config: VanillaBlockchainConfig) -> None:
         self.config = config
         self.rng = new_rng(config.seed, "vanilla-blockchain")
-        self.delay_model = DelayModel(config.delay_params, new_rng(config.seed, "vb-delay"))
+        self.round_sim = EventRoundSimulator(config.delay_params, new_rng(config.seed, "vb-delay"))
         self.keystore = KeyStore(seed=config.seed) if config.verify_signatures else None
         self.worker_ids = [f"worker-{i}" for i in range(config.num_workers)]
         if self.keystore is not None:
@@ -127,16 +132,15 @@ class VanillaBlockchainSimulator:
         return txs
 
     def run_round(self, round_index: int, clock: SimulatedClock) -> RoundRecord:
-        """Execute one round: submit all transactions and drain the queue into blocks."""
+        """Execute one round on the event kernel: every block is mined at a solve event."""
         cfg = self.config
         txs = self._make_round_transactions(round_index)
         self.mempool.submit_many(txs)
 
-        blocks_this_round = 0
-        leader = self.miners[0]
-        while self.mempool.pending_count > 0:
-            batch = self.mempool.take_block()
-            block = leader.build_block(
+        def build_and_commit(batch: list, winner_index: int) -> None:
+            """Solve-event handler: the winning miner packs the batch into a block."""
+            winner = self.miners[winner_index]
+            block = winner.build_block(
                 round_index,
                 batch,
                 timestamp=clock.now,
@@ -144,24 +148,27 @@ class VanillaBlockchainSimulator:
             )
             for miner in self.miners:
                 miner.accept_block(block)
-            blocks_this_round += 1
-            _forks, _merge = self.delay_model.fork_delay(cfg.num_miners)
-            self.total_forks += _forks
 
-        breakdown = self.delay_model.vanilla_blockchain_round(
+        timing = self.round_sim.vanilla_round(
             num_transactions=len(txs),
             num_miners=cfg.num_miners,
+            mempool=self.mempool,
+            on_block=build_and_commit,
+            miners=self.miners,
         )
-        clock.advance(breakdown.total)
+        self.total_forks += timing.fork_count
+        clock.advance(timing.total)
         return RoundRecord(
             round_index=round_index,
-            delay=breakdown.total,
+            delay=timing.total,
             accuracy=0.0,
             elapsed_time=clock.now,
             participants=list(range(cfg.num_workers)),
             extras={
-                "delay_breakdown": breakdown.as_dict(),
-                "blocks_mined": blocks_this_round,
+                "delay_breakdown": timing.breakdown.as_dict(),
+                "blocks_mined": timing.blocks_mined,
+                "fork_count": timing.fork_count,
+                "sim_events": timing.events_processed,
                 "chain_height": self.miners[0].chain.height,
             },
         )

@@ -1,0 +1,117 @@
+"""Event-driven vs analytic delay parity (the refactor's safety net).
+
+The discrete-event kernel replaced the closed-form composition of Section 4.6
+as the repository's timing source.  These tests pin the two together: for
+every workload corner the paper sweeps (n ∈ {20, 100} participants,
+m ∈ {2, 4} miners) the kernel-simulated per-round delay *means* of FedAvg,
+FAIR-BFL, and the vanilla blockchain must land inside the analytic model's
+calibrated range (±15% of its Monte-Carlo mean — generous against Monte-Carlo
+error at these sample sizes, tight against structural drift).
+
+The paper's headline delay ordering (Fig. 4a) and the kernel's seed
+determinism are asserted on the same samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.delay import AnalyticDelayModel, DelayModel, DelayParameters
+from repro.utils.rng import new_rng
+
+PARTICIPANT_COUNTS = (20, 100)
+MINER_COUNTS = (2, 4)
+REPS = 120
+#: Relative tolerance of the calibrated range around the analytic mean.
+RANGE_TOLERANCE = 0.15
+BATCHES_PER_EPOCH = 5
+EPOCHS = 5
+
+
+def _mean(model, system: str, n: int, m: int) -> float:
+    def sample() -> float:
+        if system == "fedavg":
+            return model.fl_round(
+                num_participants=n, batches_per_epoch=BATCHES_PER_EPOCH, epochs=EPOCHS
+            ).total
+        if system == "fairbfl":
+            return model.fairbfl_round(
+                num_participants=n,
+                num_miners=m,
+                batches_per_epoch=BATCHES_PER_EPOCH,
+                epochs=EPOCHS,
+            ).total
+        return model.vanilla_blockchain_round(num_transactions=n, num_miners=m).total
+
+    return float(np.mean([sample() for _ in range(REPS)]))
+
+
+@pytest.mark.parametrize("n", PARTICIPANT_COUNTS)
+@pytest.mark.parametrize("m", MINER_COUNTS)
+@pytest.mark.parametrize("system", ("fedavg", "fairbfl", "blockchain"))
+def test_kernel_means_fall_in_analytic_calibrated_range(system, n, m):
+    params = DelayParameters()
+    event_mean = _mean(DelayModel(params, new_rng(n * 100 + m, "parity-event", system)), system, n, m)
+    analytic_mean = _mean(
+        AnalyticDelayModel(params, new_rng(n * 100 + m, "parity-analytic", system)), system, n, m
+    )
+    low = (1.0 - RANGE_TOLERANCE) * analytic_mean
+    high = (1.0 + RANGE_TOLERANCE) * analytic_mean
+    assert low <= event_mean <= high, (
+        f"{system} (n={n}, m={m}): kernel mean {event_mean:.2f}s outside the "
+        f"analytic calibrated range [{low:.2f}, {high:.2f}]s"
+    )
+
+
+def test_kernel_preserves_component_structure():
+    """The five-term decomposition survives the kernel: each stage mean matches."""
+    params = DelayParameters()
+    event = DelayModel(params, new_rng(0, "parity-components-event"))
+    analytic = AnalyticDelayModel(params, new_rng(0, "parity-components-analytic"))
+
+    def component_means(model) -> dict[str, float]:
+        draws = [
+            model.fairbfl_round(
+                num_participants=100, num_miners=2, batches_per_epoch=5, epochs=5
+            ).as_dict()
+            for _ in range(REPS)
+        ]
+        return {key: float(np.mean([d[key] for d in draws])) for key in ("t_local", "t_up", "t_ex", "t_gl", "t_bl")}
+
+    ev = component_means(event)
+    an = component_means(analytic)
+    for key in ev:
+        assert ev[key] == pytest.approx(an[key], rel=0.2, abs=0.05), (
+            f"component {key}: kernel {ev[key]:.3f}s vs analytic {an[key]:.3f}s"
+        )
+
+
+def test_headline_delay_ordering_survives_the_kernel():
+    """Fig. 4a on the kernel: FedAvg < FAIR-BFL < vanilla blockchain.
+
+    The paper's workload: n = 100 workers at selection ratio λ = 0.1, so ten
+    participants train per round while the vanilla chain still records all
+    100 gradient transactions.
+    """
+    params = DelayParameters()
+    model = DelayModel(params, new_rng(42, "parity-ordering"))
+    fl = _mean(model, "fedavg", 10, 2)
+    fair = _mean(model, "fairbfl", 10, 2)
+    chain = _mean(model, "blockchain", 100, 2)
+    assert fl < fair < chain
+
+
+def test_kernel_rounds_are_seed_deterministic():
+    params = DelayParameters()
+
+    def series() -> list[float]:
+        model = DelayModel(params, new_rng(7, "parity-determinism"))
+        return [
+            model.fairbfl_round(
+                num_participants=20, num_miners=2, batches_per_epoch=5, epochs=2
+            ).total
+            for _ in range(10)
+        ]
+
+    assert series() == series()

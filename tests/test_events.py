@@ -1,0 +1,283 @@
+"""Tests for the discrete-event kernel and its blockchain-layer actors.
+
+Covers the kernel contract (ordering, cancellation, bounded runs, generator
+processes, seeded tie-breaking, trace digests), the event-driven delivery
+paths of :class:`~repro.blockchain.network.BroadcastNetwork` with its bounded
+message recording, and the :class:`~repro.blockchain.mempool.Mempool`
+oversized-transaction / byte-accounting edge cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain.mempool import Mempool, pack_block_counts
+from repro.blockchain.network import BroadcastNetwork
+from repro.blockchain.transaction import make_gradient_transaction
+from repro.sim.events import EventKernel, EventKernelError
+from repro.utils.rng import new_rng
+
+
+class TestEventKernel:
+    def test_events_fire_in_time_order(self):
+        kernel = EventKernel(seed=0)
+        fired = []
+        kernel.schedule(2.0, lambda: fired.append("b"), name="b")
+        kernel.schedule(1.0, lambda: fired.append("a"), name="a")
+        kernel.schedule(3.0, lambda: fired.append("c"), name="c")
+        end = kernel.run()
+        assert fired == ["a", "b", "c"]
+        assert end == pytest.approx(3.0)
+        assert kernel.events_processed == 3
+
+    def test_clock_only_advances_at_events(self):
+        kernel = EventKernel(seed=0)
+        times = []
+        kernel.schedule(0.5, lambda: times.append(kernel.now))
+        kernel.schedule(1.5, lambda: times.append(kernel.now))
+        kernel.run()
+        assert times == [pytest.approx(0.5), pytest.approx(1.5)]
+
+    def test_priority_beats_insertion_order_at_equal_time(self):
+        kernel = EventKernel(seed=0)
+        fired = []
+        kernel.schedule(1.0, lambda: fired.append("late"), name="late", priority=5)
+        kernel.schedule(1.0, lambda: fired.append("early"), name="early", priority=-5)
+        kernel.run()
+        assert fired == ["early", "late"]
+
+    def test_seeded_tie_breaking_is_seed_deterministic(self):
+        def order(seed: int) -> list[str]:
+            kernel = EventKernel(seed=seed)
+            fired: list[str] = []
+            for name in ("a", "b", "c", "d", "e"):
+                kernel.schedule(1.0, (lambda n=name: fired.append(n)), name=name)
+            kernel.run()
+            return fired
+
+        assert order(7) == order(7)
+        # Across many seeds, at least one must deviate from insertion order.
+        assert any(order(s) != ["a", "b", "c", "d", "e"] for s in range(20))
+
+    def test_cancelled_events_are_skipped(self):
+        kernel = EventKernel(seed=0)
+        fired = []
+        victim = kernel.schedule(1.0, lambda: fired.append("victim"))
+        kernel.schedule(0.5, victim.cancel)
+        kernel.schedule(2.0, lambda: fired.append("survivor"))
+        kernel.run()
+        assert fired == ["survivor"]
+        assert kernel.events_processed == 2  # cancel event + survivor
+
+    def test_run_until_stops_before_later_events(self):
+        kernel = EventKernel(seed=0)
+        fired = []
+        kernel.schedule(1.0, lambda: fired.append("in"))
+        kernel.schedule(5.0, lambda: fired.append("out"))
+        end = kernel.run(until=2.0)
+        assert fired == ["in"]
+        assert end == pytest.approx(2.0)
+        assert kernel.pending == 1
+
+    def test_negative_delay_and_past_scheduling_rejected(self):
+        kernel = EventKernel(seed=0)
+        with pytest.raises(EventKernelError):
+            kernel.schedule(-0.1, lambda: None)
+        kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        with pytest.raises(EventKernelError):
+            kernel.schedule_at(0.5, lambda: None)
+
+    def test_max_events_guards_runaway_processes(self):
+        kernel = EventKernel(seed=0)
+
+        def reschedule() -> None:
+            kernel.schedule(0.1, reschedule, name="loop")
+
+        kernel.schedule(0.1, reschedule, name="loop")
+        with pytest.raises(EventKernelError, match="event budget"):
+            kernel.run(max_events=50)
+
+    def test_run_completing_exactly_at_budget_is_not_an_error(self):
+        kernel = EventKernel(seed=0)
+        fired = []
+        for i in range(3):
+            kernel.schedule(0.1 * (i + 1), (lambda i=i: fired.append(i)))
+        end = kernel.run(max_events=3)
+        assert fired == [0, 1, 2]
+        assert end == pytest.approx(0.3)
+
+    def test_generator_process_with_timeouts_and_signal(self):
+        kernel = EventKernel(seed=0)
+        log = []
+        ready = kernel.signal("ready")
+
+        def producer():
+            yield 1.0
+            log.append(("produced", kernel.now))
+            ready.fire("payload-42")
+
+        def consumer():
+            payload = yield ready
+            log.append(("consumed", kernel.now, payload))
+            yield 0.5
+            log.append(("done", kernel.now))
+
+        kernel.spawn("producer", producer())
+        kernel.spawn("consumer", consumer())
+        kernel.run()
+        assert log[0] == ("produced", pytest.approx(1.0))
+        assert log[1] == ("consumed", pytest.approx(1.0), "payload-42")
+        assert log[2] == ("done", pytest.approx(1.5))
+
+    def test_signal_fires_late_waiters_immediately(self):
+        kernel = EventKernel(seed=0)
+        sig = kernel.signal("s")
+        sig.fire("x")
+        got = []
+
+        def late():
+            value = yield sig
+            got.append((kernel.now, value))
+
+        kernel.spawn("late", late(), delay=2.0)
+        kernel.run()
+        assert got == [(pytest.approx(2.0), "x")]
+
+    def test_invalid_yield_type_raises(self):
+        kernel = EventKernel(seed=0)
+
+        def bad():
+            yield "not-a-delay"
+
+        kernel.spawn("bad", bad())
+        with pytest.raises(EventKernelError, match="yielded"):
+            kernel.run()
+
+    def test_trace_digest_is_reproducible(self):
+        def digest() -> str:
+            kernel = EventKernel(seed=3, record_trace=True)
+            for i in range(10):
+                kernel.schedule(0.25 * i, name=f"e{i}")
+            kernel.run()
+            return kernel.trace_digest()
+
+        assert digest() == digest()
+        assert len(digest()) == 64
+
+
+class TestEventDrivenNetwork:
+    def _network(self, **kwargs):
+        return BroadcastNetwork(
+            node_ids=["a", "b", "c"], rng=new_rng(0, "net"), base_latency=0.2, jitter=0.0, **kwargs
+        )
+
+    def test_send_via_delivers_at_latency(self):
+        kernel = EventKernel(seed=0)
+        net = self._network()
+        seen = []
+        net.send_via(kernel, "a", "b", payload="hi", on_deliver=lambda m: seen.append((kernel.now, m)))
+        assert net.message_count == 0  # not delivered yet
+        kernel.run()
+        assert net.message_count == 1
+        (t, msg), = seen
+        assert t == pytest.approx(0.2)
+        assert msg.payload == "hi" and msg.latency == pytest.approx(0.2)
+
+    def test_broadcast_via_reaches_all_peers(self):
+        kernel = EventKernel(seed=0)
+        net = self._network()
+        receivers = []
+        net.broadcast_via(kernel, "a", on_deliver=lambda m: receivers.append(m.receiver))
+        kernel.run()
+        assert sorted(receivers) == ["b", "c"]
+        assert net.message_count == 2
+        assert net.total_latency == pytest.approx(0.4)
+        assert net.mean_latency == pytest.approx(0.2)
+
+    def test_recording_is_off_by_default(self):
+        net = self._network()
+        for _ in range(5):
+            net.send("a", "b", None)
+        assert net.message_count == 5
+        assert len(net.recent_messages) == 0
+
+    def test_recording_is_bounded_when_enabled(self):
+        net = self._network(record_limit=3)
+        for i in range(10):
+            net.send("a", "b", i)
+        assert net.message_count == 10
+        assert len(net.recent_messages) == 3
+        assert [m.payload for m in net.recent_messages] == [7, 8, 9]
+
+    def test_negative_record_limit_rejected(self):
+        with pytest.raises(ValueError):
+            self._network(record_limit=-1)
+
+
+def _tx(sender: str, elements: int):
+    """A gradient transaction with payload_size_bytes == 8 * elements."""
+    return make_gradient_transaction(sender, 0, [0.5] * elements, keystore=None)
+
+
+class TestMempoolEdgeCases:
+    def test_pack_block_counts_examples(self):
+        assert list(pack_block_counts([10, 10, 10], 20)) == [2, 1]
+        assert list(pack_block_counts([30], 20)) == [1]  # oversized goes alone
+        assert list(pack_block_counts([10, 30, 10], 20)) == [1, 1, 1]
+        assert list(pack_block_counts([], 20)) == []
+
+    def test_oversized_transaction_occupies_block_alone(self):
+        pool = Mempool(block_size_bytes=64)
+        pool.submit(_tx("big", 100))  # 800 bytes > 64
+        pool.submit(_tx("small", 4))  # 32 bytes
+        first = pool.take_block()
+        assert [t.sender for t in first] == ["big"]
+        second = pool.take_block()
+        assert [t.sender for t in second] == ["small"]
+
+    def test_oversized_behind_small_does_not_join_their_block(self):
+        pool = Mempool(block_size_bytes=64)
+        pool.submit(_tx("s1", 3))  # 24 bytes
+        pool.submit(_tx("big", 100))
+        pool.submit(_tx("s2", 3))
+        assert pool.blocks_required() == 3
+        assert [t.sender for t in pool.take_block()] == ["s1"]
+        assert [t.sender for t in pool.take_block()] == ["big"]
+        assert [t.sender for t in pool.take_block()] == ["s2"]
+
+    def test_pending_bytes_is_tracked_incrementally(self):
+        pool = Mempool(block_size_bytes=64)
+        txs = [_tx(f"w{i}", 4) for i in range(5)]  # 32 bytes each
+        pool.submit_many(txs)
+        assert pool.pending_bytes == 5 * 32
+        pool.take_block()  # takes two (64 bytes)
+        assert pool.pending_bytes == 3 * 32
+        pool.clear()
+        assert pool.pending_bytes == 0 and pool.pending_count == 0
+
+    def test_duplicate_submission_does_not_double_count_bytes(self):
+        pool = Mempool(block_size_bytes=64)
+        tx = _tx("w", 4)
+        assert pool.submit(tx) is True
+        assert pool.submit(tx) is False
+        assert pool.pending_bytes == 32 and pool.pending_count == 1
+
+    def test_take_block_then_resubmit_same_id_allowed(self):
+        pool = Mempool(block_size_bytes=64)
+        tx = _tx("w", 4)
+        pool.submit(tx)
+        pool.take_block()
+        assert pool.submit(tx) is True  # mined txs leave the seen set
+        assert pool.pending_bytes == 32
+
+    def test_blocks_required_matches_take_block_drain(self):
+        pool = Mempool(block_size_bytes=80)
+        txs = [_tx(f"w{i}", 1 + (i % 7)) for i in range(40)]
+        pool.submit_many(txs)
+        predicted = pool.blocks_required()
+        drained = 0
+        while pool.pending_count:
+            assert pool.take_block()
+            drained += 1
+        assert drained == predicted
