@@ -1,0 +1,203 @@
+"""Attack × defense matrix: every attack against every defense, one sweep.
+
+The paper's security story (Table 2) pits its detection mechanism against a
+single forgery.  This bench runs the full cartesian grid the defense
+subsystem unlocks — {no_attack, sign_flip, label_flip, scaled_forgery} ×
+{none, krum, median, trimmed_mean, fairbfl_detection} — on one shared
+workload at 20% adversaries (2 of 10 clients forged every round), and pins
+the qualitative claims:
+
+* each targeted attack genuinely hurts the undefended (``none``) run;
+* under each targeted attack, its *matched* defense's final accuracy
+  strictly beats the ``none`` defense (sign-flip and label-flip fall to the
+  paper's own detection path, scaled forgeries to the robust-statistics
+  rules — which is exactly the regime where detection fails, since a scaled
+  forgery keeps the honest direction and clusters with the global update);
+* every defense in the grid wins under at least one attack.
+
+``fairbfl_detection`` is the paper's Procedure II path (DBSCAN clustering +
+discard strategy, no robust layer); the other defenses run with the keep
+strategy so the robust rule is the only thing that changes.  Emits the
+human-readable matrix (``attack_defense_matrix.txt``) and the
+machine-readable record (``BENCH_attack_defense_matrix.json``).
+
+The ``smoke`` marker selects a 2-cell structural pass for quick CI:
+``pytest benchmarks/bench_attack_defense_matrix.py -m smoke``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit, emit_json
+from repro.core.results import ComparisonResult
+from repro.runner.engine import ExperimentEngine
+from repro.runner.scenario import ScenarioSpec
+
+NUM_CLIENTS = 10
+NUM_ROUNDS = 10
+NUM_ATTACKERS = 2  # 20% of the population, every round
+
+#: Attack axis: scenario overrides per grid row.
+ATTACKS = {
+    "no_attack": dict(attacks=False),
+    "sign_flip": dict(attacks=True, attack_name="sign_flip"),
+    "label_flip": dict(attacks=True, attack_name="label_flip"),
+    "scaled_forgery": dict(attacks=True, attack_name="scaling"),
+}
+
+#: Defense axis: scenario overrides per grid column.  ``fairbfl_detection``
+#: is the paper's own defense (Algorithm 2 + discard), not a robust rule.
+DEFENSES = {
+    "none": dict(defense="none"),
+    "krum": dict(defense="krum"),
+    "median": dict(defense="median"),
+    "trimmed_mean": dict(defense="trimmed_mean"),
+    "fairbfl_detection": dict(defense="none", strategy="discard"),
+}
+
+#: Matched pairs pinned by the assertions: under each targeted attack these
+#: defenses must strictly beat ``none`` on final accuracy.  Robust-statistics
+#: rules win where detection fails (scaled forgery) and vice versa.
+MATCHED = {
+    "sign_flip": ("fairbfl_detection", "trimmed_mean"),
+    "label_flip": ("fairbfl_detection",),
+    "scaled_forgery": ("krum", "median", "trimmed_mean"),
+}
+
+
+def _spec(attack: str, defense: str, *, num_rounds: int = NUM_ROUNDS) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"matrix[{attack}|{defense}]",
+        system="fairbfl",
+        num_clients=NUM_CLIENTS,
+        num_samples=80 * NUM_CLIENTS,
+        num_rounds=num_rounds,
+        participation=1.0,
+        epochs=2,
+        batch_size=10,
+        learning_rate=0.05,
+        model_name="logreg",
+        min_attackers=NUM_ATTACKERS,
+        max_attackers=NUM_ATTACKERS,
+        defense_fraction=NUM_ATTACKERS / NUM_CLIENTS,
+        seed=0,
+        **{**ATTACKS[attack], **DEFENSES[defense]},
+    )
+
+
+def _run_matrix():
+    engine = ExperimentEngine()
+    grid = {}
+    for attack in ATTACKS:
+        for defense in DEFENSES:
+            start = time.perf_counter()
+            history = engine.run(_spec(attack, defense))
+            wall = time.perf_counter() - start
+            rejected = sum(
+                len(r.extras.get("defense_rejected", [])) for r in history.rounds
+            )
+            grid[(attack, defense)] = {
+                "history": history,
+                "wall_time_s": wall,
+                "defense_rejected": rejected,
+            }
+    return grid
+
+
+def test_attack_defense_matrix(benchmark):
+    grid = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+
+    table = ComparisonResult(
+        title=(
+            "Attack x defense matrix (FAIR-BFL, n=10, 2 attackers/round, "
+            f"{NUM_ROUNDS} rounds)"
+        ),
+        columns=["attack", "defense", "final_accuracy", "avg_accuracy", "defense_rejected"],
+    )
+    measurements = []
+    for (attack, defense), entry in grid.items():
+        history = entry["history"]
+        table.add_row(
+            attack,
+            defense,
+            history.final_accuracy(),
+            history.average_accuracy(),
+            entry["defense_rejected"],
+        )
+        measurements.append(
+            {
+                "label": f"{attack}|{defense}",
+                "attack": attack,
+                "defense": defense,
+                "wall_time_s": entry["wall_time_s"],
+                "final_accuracy": history.final_accuracy(),
+                "avg_accuracy": history.average_accuracy(),
+                "defense_rejected": entry["defense_rejected"],
+            }
+        )
+    table.notes.append(
+        "matched pairs asserted (defense strictly beats 'none' under the attack): "
+        + "; ".join(f"{a} -> {', '.join(ds)}" for a, ds in MATCHED.items())
+    )
+    table.notes.append(
+        "krum collapses without attackers (a single row is a poor global update); "
+        "it earns its place only against scaled forgeries"
+    )
+    emit(table, "attack_defense_matrix.txt")
+    emit_json(
+        "attack_defense_matrix",
+        config={
+            "num_clients": NUM_CLIENTS,
+            "num_rounds": NUM_ROUNDS,
+            "attackers_per_round": NUM_ATTACKERS,
+            "defense_fraction": NUM_ATTACKERS / NUM_CLIENTS,
+            "attacks": sorted(ATTACKS),
+            "defenses": sorted(DEFENSES),
+        },
+        measurements=measurements,
+        notes=["assertion: matched defense final accuracy strictly exceeds 'none'"],
+    )
+
+    def final(attack, defense):
+        return grid[(attack, defense)]["history"].final_accuracy()
+
+    # The two gradient-space forgeries must genuinely hurt the undefended run.
+    clean = final("no_attack", "none")
+    for attack in ("sign_flip", "scaled_forgery"):
+        assert final(attack, "none") < clean - 0.10, (
+            f"{attack} did not degrade the undefended run "
+            f"({final(attack, 'none'):.3f} vs clean {clean:.3f})"
+        )
+
+    # Acceptance: each matched defense strictly beats 'none' under its attack.
+    for attack, defenses in MATCHED.items():
+        undefended = final(attack, "none")
+        for defense in defenses:
+            defended = final(attack, defense)
+            assert defended > undefended, (
+                f"{defense} did not beat 'none' under {attack} "
+                f"({defended:.3f} vs {undefended:.3f})"
+            )
+
+    # Every non-none defense earns its place somewhere in the grid.
+    covered = {d for defenses in MATCHED.values() for d in defenses}
+    assert covered == set(DEFENSES) - {"none"}
+
+    # Robust statistics cover detection's blind spot: a scaled forgery keeps
+    # the honest direction, so Procedure II cannot separate it.
+    assert final("scaled_forgery", "median") > final("scaled_forgery", "fairbfl_detection")
+
+
+@pytest.mark.smoke
+def test_attack_defense_smoke():
+    """Fast structural pass over one matched cell (no pytest-benchmark timing)."""
+    engine = ExperimentEngine()
+    undefended = engine.run(_spec("scaled_forgery", "none", num_rounds=3))
+    defended = engine.run(_spec("scaled_forgery", "trimmed_mean", num_rounds=3))
+    assert defended.final_accuracy() > undefended.final_accuracy()
+    assert all(
+        r.extras["defense"] == "trimmed_mean" for r in defended.rounds
+    )

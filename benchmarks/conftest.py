@@ -33,6 +33,14 @@ from repro.fl.client import LocalTrainingConfig  # noqa: E402
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
+def pytest_configure(config) -> None:
+    """Register the benchmark-local markers (pytest has no ini file here)."""
+    config.addinivalue_line(
+        "markers",
+        "smoke: fast structural subset of a bench (run with -m smoke to keep CI quick)",
+    )
+
+
 def visible_cpus() -> int:
     """CPUs visible to this process (affinity-aware)."""
     try:

@@ -15,6 +15,7 @@ the global model".  This package provides:
 
 from repro.attacks.base import Attack, NoAttack
 from repro.attacks.gradient_attacks import (
+    ATTACKS,
     GaussianNoiseAttack,
     ScalingAttack,
     SignFlipAttack,
@@ -25,6 +26,7 @@ from repro.attacks.label_flip import LabelFlipAttack
 from repro.attacks.scheduler import AttackRoundLog, AttackScheduler, detection_rate
 
 __all__ = [
+    "ATTACKS",
     "Attack",
     "NoAttack",
     "GaussianNoiseAttack",

@@ -21,12 +21,17 @@ from repro.fl.client import ClientUpdate
 from repro.utils.validation import check_non_negative, check_positive
 
 __all__ = [
+    "ATTACKS",
     "SignFlipAttack",
     "ScalingAttack",
     "GaussianNoiseAttack",
     "ZeroGradientAttack",
     "make_attack",
 ]
+
+#: Attack names accepted by :func:`make_attack` — the authoritative axis the
+#: scenario layer, the CLI, and the docs-coverage checker all share.
+ATTACKS = ("sign_flip", "scaling", "gaussian_noise", "zero_gradient", "label_flip", "none")
 
 
 def _direction(update: ClientUpdate, global_parameters: np.ndarray | None) -> tuple[np.ndarray, np.ndarray]:
@@ -126,10 +131,11 @@ class ZeroGradientAttack(Attack):
 
 
 def make_attack(name: str, **kwargs) -> Attack:
-    """Factory resolving an attack by name.
+    """Factory resolving an attack by name (see :data:`ATTACKS`).
 
-    Accepted names: ``"sign_flip"``, ``"scaling"``, ``"gaussian_noise"``,
-    ``"zero_gradient"``, ``"none"``.
+    ``"label_flip"`` resolves to the direction-space approximation of
+    :class:`~repro.attacks.label_flip.LabelFlipAttack` (imported lazily — the
+    retraining variant needs client objects this factory does not have).
     """
     from repro.attacks.base import NoAttack
 
@@ -142,9 +148,12 @@ def make_attack(name: str, **kwargs) -> Attack:
         return GaussianNoiseAttack(**kwargs)
     if key == "zero_gradient":
         return ZeroGradientAttack(**kwargs)
+    if key == "label_flip":
+        from repro.attacks.label_flip import LabelFlipAttack
+
+        return LabelFlipAttack(**kwargs)
     if key == "none":
         return NoAttack()
     raise ValueError(
-        f"unknown attack {name!r}; expected 'sign_flip', 'scaling', 'gaussian_noise', "
-        f"'zero_gradient', or 'none'"
+        f"unknown attack {name!r}; expected one of: " + ", ".join(ATTACKS)
     )

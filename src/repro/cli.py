@@ -8,6 +8,7 @@ Run the reproduced systems without writing any Python:
    python -m repro.cli run fedavg  --clients 12 --rounds 8
    python -m repro.cli run fairbfl --backend process --workers 4
    python -m repro.cli run fairbfl --round-mode semi_sync --straggler-deadline 4
+   python -m repro.cli run fairbfl --attacks --attack-name scaling --defense krum
    python -m repro.cli compare --clients 12 --rounds 8 --export results.csv
    python -m repro.cli sweep --scenario scenarios/example_sweep.toml
 
@@ -24,6 +25,9 @@ The ``--backend`` flag selects how each round's local updates fan out
 (``serial`` | ``thread`` | ``process``); results are bit-identical across
 backends.  ``--round-mode`` selects the round discipline for the FAIR-BFL
 systems (``sync`` | ``semi_sync`` | ``async``; see ``docs/scenarios.md``).
+``--attacks``/``--attack-name`` enable per-round forgeries and
+``--defense``/``--defense-fraction`` route aggregation through a
+robust-aggregation pipeline (see ``docs/threat_model.md``).
 """
 
 from __future__ import annotations
@@ -31,7 +35,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.attacks.gradient_attacks import ATTACKS
 from repro.core.io import save_comparison_csv, save_history_csv
+from repro.fl.robust import DEFENSES
 from repro.core.results import ComparisonResult, summarize_history
 from repro.runner.engine import ExperimentEngine
 from repro.runner.executor import EXECUTOR_BACKENDS
@@ -63,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scheme", default="dirichlet", choices=["iid", "shard", "dirichlet"])
         add_round_mode(p)
         p.add_argument("--attacks", action="store_true", help="enable 1-3 malicious clients per round")
+        p.add_argument(
+            "--attack-name",
+            default="sign_flip",
+            choices=list(ATTACKS),
+            help="forgery the malicious clients apply (with --attacks)",
+        )
+        add_defense(p)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--export", default=None, help="write the per-round series to this CSV file")
         add_backend(p)
@@ -93,6 +106,21 @@ def build_parser() -> argparse.ArgumentParser:
             type=float,
             default=0.5,
             help="async mode: exponent of the (1+staleness)^-decay weight on late updates",
+        )
+
+    def add_defense(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--defense",
+            default="none",
+            help="robust-aggregation defense the gradient matrix passes through "
+            f"before aggregation: {', '.join(DEFENSES)}, or a '+'-chained "
+            "pipeline such as norm_clip+krum (see docs/threat_model.md)",
+        )
+        p.add_argument(
+            "--defense-fraction",
+            type=float,
+            default=0.2,
+            help="adversary fraction the defense is sized for, in [0, 0.5)",
         )
 
     def add_backend(p: argparse.ArgumentParser, *, backend_default: str | None = "serial") -> None:
@@ -133,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(ROUND_MODES),
         help="override the round discipline of every scenario in the sweep",
     )
+    sweep_p.add_argument(
+        "--defense",
+        default=None,
+        help="override the robust-aggregation defense of every scenario in the sweep",
+    )
     return parser
 
 
@@ -159,6 +192,9 @@ def _spec_from_args(system: str, args: argparse.Namespace) -> ScenarioSpec:
         async_quorum=args.async_quorum,
         staleness_decay=args.staleness_decay,
         attacks=args.attacks,
+        attack_name=args.attack_name,
+        defense=args.defense,
+        defense_fraction=args.defense_fraction,
         seed=args.seed,
         backend=args.backend,
         max_workers=args.workers,
@@ -235,6 +271,8 @@ def main(argv: list[str] | None = None) -> int:
             overrides["max_workers"] = args.workers
         if args.round_mode is not None:
             overrides["round_mode"] = args.round_mode
+        if args.defense is not None:
+            overrides["defense"] = args.defense
         if overrides:
             specs = [spec.with_overrides(**overrides) for spec in specs]
     except ScenarioError as exc:

@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.attacks.gradient_attacks import ATTACKS
 from repro.core.flexibility import OperatingMode
 from repro.fl.client import LocalTrainingConfig
+from repro.fl.robust import check_defense
 from repro.incentive.contribution import ContributionConfig
 from repro.sim.delay import DelayParameters
 from repro.sim.rounds import ROUND_MODES
@@ -66,7 +68,16 @@ class FairBFLConfig:
         Whether an :class:`~repro.attacks.scheduler.AttackScheduler` designates
         malicious clients each round (Table 2 protocol).
     attack_name / min_attackers / max_attackers:
-        Attack configuration when attacks are enabled.
+        Attack configuration when attacks are enabled (see
+        :data:`repro.attacks.ATTACKS`).
+    defense:
+        Robust-aggregation defense the stacked gradient matrix passes through
+        before Procedure II — ``"none"``, a primitive from
+        :data:`repro.fl.robust.DEFENSES`, or a ``"+"``-chained pipeline such
+        as ``"norm_clip+krum"`` (see ``docs/threat_model.md``).
+    defense_fraction:
+        Adversary fraction the defense is sized for (Krum's selection count,
+        the trimmed mean's trim width); must lie in [0, 0.5).
     verify_signatures:
         Whether gradient uploads are RSA-signed and verified (Figure 2 path).
     use_real_pow:
@@ -108,6 +119,8 @@ class FairBFLConfig:
     attack_name: str = "sign_flip"
     min_attackers: int = 1
     max_attackers: int = 3
+    defense: str = "none"
+    defense_fraction: float = 0.2
     verify_signatures: bool = True
     use_real_pow: bool = True
     pow_difficulty: float = 16.0
@@ -133,6 +146,15 @@ class FairBFLConfig:
             raise ValueError(
                 f"invalid attacker bounds ({self.min_attackers}, {self.max_attackers})"
             )
+        if self.attack_name not in ATTACKS:
+            raise ValueError(
+                f"attack_name must be one of {', '.join(ATTACKS)}, got {self.attack_name!r}"
+            )
+        if not (0.0 <= self.defense_fraction < 0.5):
+            raise ValueError(
+                f"defense_fraction must lie in [0, 0.5), got {self.defense_fraction}"
+            )
+        check_defense(self.defense, self.defense_fraction)
         if self.round_mode not in ROUND_MODES:
             raise ValueError(
                 f"round_mode must be one of {', '.join(ROUND_MODES)}, got {self.round_mode!r}"

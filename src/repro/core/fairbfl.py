@@ -33,6 +33,7 @@ from repro.core.procedures import (
 )
 from repro.fl.aggregation import merge_stale_updates
 from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.robust import make_defense
 from repro.incentive.distance import cosine_distance_to_reference
 from repro.crypto.keystore import KeyStore
 from repro.datasets.federated import FederatedDataset
@@ -136,7 +137,7 @@ class FairBFLTrainer:
             self.selector = RandomSelector(config.participation_fraction)
         self.reward_ledger = RewardLedger()
 
-        # -- attacks -------------------------------------------------------------------
+        # -- attacks / defenses --------------------------------------------------------
         self.attack_scheduler: AttackScheduler | None = None
         if config.enable_attacks:
             self.attack_scheduler = AttackScheduler(
@@ -144,6 +145,11 @@ class FairBFLTrainer:
                 min_attackers=config.min_attackers,
                 max_attackers=config.max_attackers,
             )
+        # The robust-aggregation pipeline every gradient set (fresh and stale)
+        # passes through before Procedure II; None when defense == "none".
+        self.defense = make_defense(
+            config.defense, attacker_fraction=config.defense_fraction
+        )
 
         # -- execution -------------------------------------------------------------------
         self.executor = ParallelExecutor(
@@ -206,8 +212,10 @@ class FairBFLTrainer:
         """Designate attackers for the round and forge their updates in place."""
         if self.attack_scheduler is None or not ctx.updates:
             return
+        # Activation is keyed off the same kernel-simulated clock that times
+        # the rounds (the clock advances by each round's event-kernel total).
         attacker_ids = self.attack_scheduler.designate(
-            [u.client_id for u in ctx.updates], self._attack_rng
+            [u.client_id for u in ctx.updates], self._attack_rng, sim_time=self.clock.now
         )
         ctx.attacker_ids = attacker_ids
         if not attacker_ids:
@@ -298,12 +306,16 @@ class FairBFLTrainer:
 
         Late updates never pass through Procedure II's signature check or
         Algorithm 2's contribution filter — they arrive after the window those
-        defenses run in — so they are screened here instead: a stale update is
-        only blended if its update direction is positively aligned with the
+        defenses run in — so they are screened here instead: first through the
+        configured robust-aggregation defense (the same clip/filter pipeline
+        the fresh gradient set passed; an aggregate-replacing defense
+        contributes its clip/keep behaviour only, since stale rows must stay
+        individual for staleness weighting), then by direction: a stale update
+        is only blended if its update direction is positively aligned with the
         round's fresh consensus direction (cosine distance below
         :attr:`STALE_ALIGNMENT_CUTOFF`).  A sign-flipped or scaled-negative
         forgery that deliberately straggles past the quorum is rejected, and
-        the rejection is reported in ``extras["stale_rejected"]``.
+        every rejection is reported in ``extras["stale_rejected"]``.
         """
         if not self._stale_buffer or ctx.new_global_parameters is None:
             return
@@ -312,6 +324,14 @@ class FairBFLTrainer:
         fresh = np.asarray(ctx.new_global_parameters, dtype=np.float64)
         stale_matrix = np.stack([vec for vec, _origin in self._stale_buffer], axis=0)
         origins = np.array([origin for _vec, origin in self._stale_buffer])
+        if self.defense is not None:
+            outcome = self.defense.apply(stale_matrix - previous[None, :])
+            ctx.stale_rejected += stale_matrix.shape[0] - len(outcome.kept_indices)
+            stale_matrix = previous[None, :] + outcome.deltas
+            origins = origins[list(outcome.kept_indices)]
+            if stale_matrix.shape[0] == 0:  # pragma: no cover - filters keep >= 1 row
+                self._stale_buffer = []
+                return
         fresh_delta = fresh - previous
         if float(np.linalg.norm(fresh_delta)) > 1e-12:
             thetas = cosine_distance_to_reference(
@@ -321,7 +341,7 @@ class FairBFLTrainer:
         else:
             # Degenerate round (no movement): no direction to screen against.
             keep = np.ones(stale_matrix.shape[0], dtype=bool)
-        ctx.stale_rejected = int(np.count_nonzero(~keep))
+        ctx.stale_rejected += int(np.count_nonzero(~keep))
         if keep.any():
             staleness = np.maximum(1.0, round_index - origins[keep]).astype(np.float64)
             ctx.new_global_parameters = merge_stale_updates(
@@ -372,6 +392,7 @@ class FairBFLTrainer:
                 strategy=self.strategy,
                 use_fair_aggregation=cfg.use_fair_aggregation,
                 run_incentive=self.mode is not OperatingMode.FL_ONLY,
+                defense=self.defense,
             )
         if cfg.round_mode == "async":
             # Late arrivals from earlier rounds join this aggregate with
@@ -419,7 +440,11 @@ class FairBFLTrainer:
         if discarded and isinstance(self.selector, ContributionBasedSelector):
             self.selector.exclude_for_next_round(discarded)
         if self.attack_scheduler is not None:
-            self.attack_scheduler.record_round(round_index, ctx.attacker_ids, discarded)
+            # Detection accounting counts both drop paths: Algorithm 2's
+            # discard list and the robust defense's rejections.  (Only
+            # strategy discards feed the next-round selection exclusion.)
+            dropped = sorted(set(discarded) | set(ctx.defense_rejected_ids))
+            self.attack_scheduler.record_round(round_index, ctx.attacker_ids, dropped)
 
         # -- measurement --------------------------------------------------------------
         breakdown = timing.breakdown.as_dict()
@@ -452,6 +477,9 @@ class FairBFLTrainer:
                 "stragglers": list(ctx.straggler_ids),
                 "stale_applied": ctx.stale_applied,
                 "stale_rejected": ctx.stale_rejected,
+                "defense": cfg.defense,
+                "defense_rejected": list(ctx.defense_rejected_ids),
+                "defense_clipped": ctx.defense_clipped,
                 "sim_events": timing.events_processed,
                 "event_trace_digest": timing.trace_digest,
             },

@@ -34,6 +34,7 @@ from repro.incentive.strategies import Strategy, StrategyOutcome
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fl.robust import RobustAggregator
     from repro.runner.executor import ParallelExecutor
     from repro.sim.rounds import RoundTiming
 
@@ -71,6 +72,8 @@ class RoundContext:
     straggler_ids: list[int] = field(default_factory=list)
     stale_applied: int = 0
     stale_rejected: int = 0
+    defense_rejected_ids: list[int] = field(default_factory=list)
+    defense_clipped: int = 0
 
 
 # -- Procedure I ------------------------------------------------------------
@@ -184,11 +187,22 @@ def procedure_global_update(
     strategy: Strategy | None,
     use_fair_aggregation: bool = True,
     run_incentive: bool = True,
+    defense: "RobustAggregator | None" = None,
 ) -> RoundContext:
     """Aggregate the gradient set, identify contributions, apply the strategy.
 
     Mirrors Algorithm 1 lines 23-27: first the simple average (line 24), then
     Algorithm 2 (line 26), then fair aggregation / the strategy (line 27).
+
+    When a ``defense`` is configured the stacked matrix first passes through
+    the robust-aggregation pipeline (clip → filter → aggregate) in direction
+    space: rows the defense rejects leave the round entirely (no contribution,
+    no reward; recorded in ``ctx.defense_rejected_ids``), clipped rows replace
+    their originals, and the robust aggregate stands in for the line-24 simple
+    average as Algorithm 2's reference.  Filtering defenses then compose with
+    Equation (1) over the survivors; aggregate-replacing defenses (median,
+    trimmed mean) fix the global update themselves while Procedure II keeps
+    its detection/reward side effects.
     """
     if ctx.gradient_matrix is None or ctx.gradient_matrix.shape[0] == 0:
         # No gradients arrived (all rejected); the global model is unchanged.
@@ -197,7 +211,24 @@ def procedure_global_update(
 
     matrix = ctx.gradient_matrix
     client_ids = ctx.gradient_client_ids
-    base_global = simple_average(matrix)
+    previous = np.asarray(ctx.global_parameters, dtype=np.float64)
+
+    if defense is not None:
+        outcome = defense.apply(matrix - previous[None, :])
+        kept = set(outcome.kept_indices)
+        ctx.defense_rejected_ids = [
+            int(cid) for i, cid in enumerate(client_ids) if i not in kept
+        ]
+        ctx.defense_clipped = outcome.clipped
+        matrix = previous[None, :] + outcome.deltas
+        client_ids = [int(client_ids[i]) for i in outcome.kept_indices]
+        # Downstream consumers (rewards, detection accounting, async
+        # bookkeeping) must see the post-defense gradient set.
+        ctx.gradient_matrix = matrix
+        ctx.gradient_client_ids = client_ids
+        base_global = previous + outcome.aggregate
+    else:
+        base_global = simple_average(matrix)
 
     if not run_incentive or contribution_config is None or strategy is None:
         ctx.new_global_parameters = base_global
@@ -207,7 +238,6 @@ def procedure_global_update(
     # w^i_{r+1} - w_r (the paper calls the uploaded quantities "gradients"):
     # the shared starting point w_r would otherwise dominate the cosine
     # geometry and hide the per-client differences Algorithm 2 relies on.
-    previous = np.asarray(ctx.global_parameters, dtype=np.float64)
     deltas = matrix - previous[None, :]
     global_delta = base_global - previous
     report = identify_contributions(deltas, client_ids, global_delta, contribution_config)
@@ -231,6 +261,11 @@ def procedure_global_update(
     ctx.strategy_outcome = outcome
     ctx.reward_list = report.reward_list
     ctx.new_global_parameters = outcome.global_update
+    if defense is not None and defense.replaces_aggregation:
+        # Median / trimmed mean ARE the aggregation rule: Procedure II ran for
+        # its detection, reward, and discard side effects, but the round's
+        # global update is the robust aggregate itself.
+        ctx.new_global_parameters = base_global
     return ctx
 
 

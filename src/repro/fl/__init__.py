@@ -7,6 +7,9 @@ paper's evaluation:
   Procedure I), including FedProx's proximal variant;
 * :mod:`repro.fl.aggregation` — simple averaging, sample-size weighting, and
   the paper's contribution-weighted *fair aggregation* (Equation 1);
+* :mod:`repro.fl.robust` — robust-aggregation defenses (norm clipping,
+  Krum/multi-Krum, coordinate-wise median, trimmed mean) composable as
+  clip → filter → aggregate pipelines (see ``docs/threat_model.md``);
 * :mod:`repro.fl.selection` — random λn client selection and
   contribution-based selection (the discard strategy's side effect);
 * :mod:`repro.fl.server` — the centralised parameter server used by the
@@ -22,6 +25,7 @@ from repro.fl.aggregation import (
     weighted_average,
 )
 from repro.fl.client import ClientUpdate, FLClient, LocalTrainingConfig
+from repro.fl.robust import DEFENSES, RobustAggregator, RobustOutcome, make_defense
 from repro.fl.fedavg import FedAvgConfig, FedAvgTrainer
 from repro.fl.fedprox import FedProxConfig, FedProxTrainer
 from repro.fl.history import RoundRecord, TrainingHistory
@@ -36,6 +40,10 @@ __all__ = [
     "ClientUpdate",
     "FLClient",
     "LocalTrainingConfig",
+    "DEFENSES",
+    "RobustAggregator",
+    "RobustOutcome",
+    "make_defense",
     "FedAvgConfig",
     "FedAvgTrainer",
     "FedProxConfig",

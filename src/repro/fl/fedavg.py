@@ -18,6 +18,7 @@ import numpy as np
 from repro.datasets.federated import FederatedDataset
 from repro.fl.client import FLClient, LocalTrainingConfig
 from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.robust import check_defense
 from repro.fl.selection import RandomSelector
 from repro.fl.server import CentralServer
 from repro.nn.models import ModelFactory
@@ -37,13 +38,18 @@ class FedAvgConfig:
 
     ``executor_backend`` / ``executor_workers`` select how the round's local
     updates fan out (serial by default; see
-    :class:`repro.runner.executor.ParallelExecutor`).
+    :class:`repro.runner.executor.ParallelExecutor`).  ``defense`` routes the
+    server's aggregation through a robust-aggregation pipeline
+    (:mod:`repro.fl.robust`; ``"none"`` keeps classic FedAvg) sized for a
+    ``defense_fraction`` adversary share.
     """
 
     num_rounds: int = 100
     participation_fraction: float = 0.1
     local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
     aggregation: str = "simple"
+    defense: str = "none"
+    defense_fraction: float = 0.2
     model_name: str = "mlp"
     hidden_sizes: tuple[int, ...] = (64,)
     delay_params: DelayParameters = field(default_factory=DelayParameters)
@@ -56,6 +62,11 @@ class FedAvgConfig:
             raise ValueError(f"num_rounds must be positive, got {self.num_rounds}")
         check_probability("participation_fraction", self.participation_fraction)
         check_executor_settings(self.executor_backend, self.executor_workers)
+        if not (0.0 <= self.defense_fraction < 0.5):
+            raise ValueError(
+                f"defense_fraction must lie in [0, 0.5), got {self.defense_fraction}"
+            )
+        check_defense(self.defense, self.defense_fraction)
 
 
 class FedAvgTrainer:
@@ -85,7 +96,12 @@ class FedAvgTrainer:
             label=self.label,
             hidden_sizes=tuple(config.hidden_sizes),
         )
-        self.server = CentralServer(self._model_factory, aggregation=config.aggregation)
+        self.server = CentralServer(
+            self._model_factory,
+            aggregation=config.aggregation,
+            defense=config.defense,
+            defense_fraction=config.defense_fraction,
+        )
         self.clients = [
             FLClient(
                 shard,

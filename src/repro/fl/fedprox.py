@@ -54,6 +54,8 @@ class FedProxConfig(FedAvgConfig):
             participation_fraction=base.participation_fraction,
             local=base.local,
             aggregation=base.aggregation,
+            defense=base.defense,
+            defense_fraction=base.defense_fraction,
             model_name=base.model_name,
             hidden_sizes=base.hidden_sizes,
             delay_params=base.delay_params,

@@ -1,0 +1,400 @@
+"""Robust-aggregation defenses over the stacked gradient matrix.
+
+The paper's own defense is *detection*: Algorithm 2 clusters the uploaded
+gradients, marks the global update's cluster as high contribution, and the
+discard strategy drops the rest.  This module adds the complementary family
+from the robust-FL literature — aggregation rules that bound what any single
+forged gradient can do to the global update, independent of clustering:
+
+* **norm clipping** — rescale update directions whose ℓ2 norm exceeds a
+  multiple of the round's median norm (defuses scaled forgeries);
+* **Krum / multi-Krum** (Blanchard et al., 2017) — score each row by the sum
+  of squared distances to its nearest neighbours and keep the best-scoring
+  row (Krum) or the ``n - m`` best rows (multi-Krum);
+* **coordinate-wise median** (Yin et al., 2018) — aggregate each coordinate
+  as the median across rows;
+* **trimmed mean** (Yin et al., 2018) — drop the largest and smallest
+  ``ceil(f·n)`` values per coordinate and average the rest.
+
+Every defense implements the :class:`RobustAggregator` protocol: it takes the
+``(k, d)`` matrix of *update directions* (rows minus the previous global
+parameters — the space where the shared starting point cancels) and returns a
+:class:`RobustOutcome` naming the surviving rows, the possibly-clipped
+matrix, and the robust aggregate direction.  Defenses compose left-to-right
+through :class:`DefensePipeline` (clip → filter → aggregate), built from a
+``"+"``-chained name such as ``"norm_clip+krum"`` by :func:`make_defense`.
+
+Two kinds of defense exist and the distinction matters downstream:
+
+* *filtering* defenses (norm clipping, Krum) remove or shrink rows but leave
+  aggregation to the caller — they compose with the paper's Equation (1) fair
+  aggregation over the survivors;
+* *aggregate-replacing* defenses (median, trimmed mean;
+  ``replaces_aggregation = True``) are themselves the aggregation rule — the
+  robust aggregate **is** the round's global update, and Procedure II runs
+  only for its detection/reward side effects.
+
+All kernels are pure, vectorised, and deterministic (stable argsort
+tie-breaking), so they preserve the repository's bit-identical-across-backends
+guarantee.  See ``docs/threat_model.md`` for the attack↔defense catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fl.aggregation import AggregationError
+
+__all__ = [
+    "DEFENSES",
+    "RobustOutcome",
+    "RobustAggregator",
+    "NoDefense",
+    "NormClipDefense",
+    "KrumDefense",
+    "MedianDefense",
+    "TrimmedMeanDefense",
+    "DefensePipeline",
+    "pairwise_sq_distances",
+    "krum_scores",
+    "clip_rows",
+    "coordinate_median",
+    "trimmed_mean",
+    "make_defense",
+    "check_defense",
+]
+
+#: Primitive defense names accepted by :func:`make_defense` (chain with "+").
+DEFENSES = ("none", "norm_clip", "krum", "multi_krum", "median", "trimmed_mean")
+
+
+def _check_matrix(deltas: np.ndarray) -> np.ndarray:
+    m = np.asarray(deltas, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] == 0:
+        raise AggregationError(
+            f"expected a non-empty (num_clients, dim) direction matrix, got shape {m.shape}"
+        )
+    return m
+
+
+# -- pure kernels -------------------------------------------------------------
+def pairwise_sq_distances(matrix: np.ndarray) -> np.ndarray:
+    """Squared euclidean distance between every pair of rows, as a ``(k, k)`` matrix."""
+    m = _check_matrix(matrix)
+    sq = np.einsum("ij,ij->i", m, m)
+    d = sq[:, None] + sq[None, :] - 2.0 * (m @ m.T)
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+def krum_scores(matrix: np.ndarray, num_attackers: int) -> np.ndarray:
+    """Per-row Krum scores: the sum of each row's ``k - m - 2`` smallest squared distances.
+
+    The neighbour count is clamped to at least one, so the score stays defined
+    in the degenerate regimes the theory excludes (``m >= (k - 2) / 2``, tiny
+    rounds); a single-row matrix scores ``[0.0]``.
+    """
+    m = _check_matrix(matrix)
+    k = m.shape[0]
+    if num_attackers < 0:
+        raise AggregationError(f"num_attackers must be >= 0, got {num_attackers}")
+    if k == 1:
+        return np.zeros(1)
+    neighbours = max(1, min(k - 1, k - int(num_attackers) - 2))
+    dists = pairwise_sq_distances(m)
+    np.fill_diagonal(dists, np.inf)
+    nearest = np.sort(dists, axis=1)[:, :neighbours]
+    return nearest.sum(axis=1)
+
+
+def clip_rows(matrix: np.ndarray, max_norm: float) -> tuple[np.ndarray, int]:
+    """Scale rows with ℓ2 norm above ``max_norm`` down to it.
+
+    Returns the clipped copy and the number of rows that were rescaled.
+    ``max_norm <= 0`` (an all-zero round) leaves the matrix untouched.
+    """
+    m = _check_matrix(matrix)
+    if max_norm <= 0.0:
+        return m.copy(), 0
+    norms = np.linalg.norm(m, axis=1)
+    over = norms > max_norm
+    clipped = m.copy()
+    if over.any():
+        clipped[over] *= (max_norm / norms[over])[:, None]
+    return clipped, int(np.count_nonzero(over))
+
+
+def coordinate_median(matrix: np.ndarray) -> np.ndarray:
+    """Coordinate-wise median across rows."""
+    return np.median(_check_matrix(matrix), axis=0)
+
+
+def trimmed_mean(matrix: np.ndarray, trim: int) -> np.ndarray:
+    """Mean of each coordinate after dropping the ``trim`` largest and smallest values.
+
+    ``trim`` is clamped so at least one value per coordinate survives.
+    """
+    m = _check_matrix(matrix)
+    k = m.shape[0]
+    if trim < 0:
+        raise AggregationError(f"trim must be >= 0, got {trim}")
+    t = min(int(trim), (k - 1) // 2)
+    if t == 0:
+        return m.mean(axis=0)
+    ordered = np.sort(m, axis=0)
+    return ordered[t : k - t].mean(axis=0)
+
+
+# -- the protocol -------------------------------------------------------------
+@dataclass(frozen=True)
+class RobustOutcome:
+    """What one defense (or pipeline) did to a round's direction matrix.
+
+    Attributes
+    ----------
+    deltas:
+        The surviving (possibly clipped) direction rows, in input order.
+    kept_indices:
+        Indices into the *input* rows that survived filtering.
+    aggregate:
+        The robust aggregate direction over the survivors.
+    clipped:
+        Number of rows whose norm was reduced by a clipping stage.
+    replaces_aggregation:
+        True when :attr:`aggregate` is the final aggregation rule itself
+        (median / trimmed mean) rather than a reference the caller may
+        re-weight (Equation 1) over the survivors.
+    """
+
+    deltas: np.ndarray
+    kept_indices: tuple[int, ...]
+    aggregate: np.ndarray
+    clipped: int = 0
+    replaces_aggregation: bool = False
+
+
+class RobustAggregator:
+    """Protocol for robust-aggregation defenses over the stacked direction matrix."""
+
+    name: str = "robust"
+    #: True when the rule's aggregate is the round's global update itself.
+    replaces_aggregation: bool = False
+
+    def apply(self, deltas: np.ndarray) -> RobustOutcome:
+        """Filter/transform the ``(k, d)`` direction matrix and aggregate it."""
+        raise NotImplementedError
+
+
+class NoDefense(RobustAggregator):
+    """Identity defense: keep every row, aggregate with the plain mean."""
+
+    name = "none"
+
+    def apply(self, deltas: np.ndarray) -> RobustOutcome:
+        m = _check_matrix(deltas)
+        return RobustOutcome(
+            deltas=m,
+            kept_indices=tuple(range(m.shape[0])),
+            aggregate=m.mean(axis=0),
+        )
+
+
+class NormClipDefense(RobustAggregator):
+    """Clip direction norms to ``multiplier`` times the round's median norm.
+
+    A scaled forgery (model-replacement style) relies on one row's magnitude
+    dominating the mean; clipping to the median norm bounds every row's pull
+    without rejecting anyone.  Keeps all rows; aggregate = mean of the clipped
+    matrix.
+    """
+
+    name = "norm_clip"
+
+    def __init__(self, multiplier: float = 1.0) -> None:
+        if multiplier <= 0.0:
+            raise ValueError(f"clip multiplier must be positive, got {multiplier}")
+        self.multiplier = float(multiplier)
+
+    def apply(self, deltas: np.ndarray) -> RobustOutcome:
+        m = _check_matrix(deltas)
+        max_norm = self.multiplier * float(np.median(np.linalg.norm(m, axis=1)))
+        clipped, count = clip_rows(m, max_norm)
+        return RobustOutcome(
+            deltas=clipped,
+            kept_indices=tuple(range(m.shape[0])),
+            aggregate=clipped.mean(axis=0),
+            clipped=count,
+        )
+
+
+class KrumDefense(RobustAggregator):
+    """Krum / multi-Krum selection (Blanchard et al., 2017).
+
+    Sizes itself for ``ceil(attacker_fraction · k)`` adversaries among ``k``
+    rows.  Classic Krum (``multi=False``) keeps the single best-scoring row;
+    multi-Krum keeps the ``k - m`` best rows (never fewer than one).  The
+    aggregate is the mean of the selected rows; the caller may re-weight the
+    survivors (Equation 1) since selection, not averaging, carries the
+    robustness.
+    """
+
+    def __init__(self, attacker_fraction: float = 0.2, *, multi: bool = False) -> None:
+        if not (0.0 <= attacker_fraction < 0.5):
+            raise ValueError(
+                f"attacker_fraction must lie in [0, 0.5), got {attacker_fraction}"
+            )
+        self.attacker_fraction = float(attacker_fraction)
+        self.multi = bool(multi)
+        self.name = "multi_krum" if multi else "krum"
+
+    def apply(self, deltas: np.ndarray) -> RobustOutcome:
+        m = _check_matrix(deltas)
+        k = m.shape[0]
+        num_attackers = int(np.ceil(self.attacker_fraction * k))
+        scores = krum_scores(m, num_attackers)
+        select = max(1, k - num_attackers) if self.multi else 1
+        order = np.argsort(scores, kind="stable")
+        kept = tuple(sorted(int(i) for i in order[:select]))
+        survivors = m[list(kept)]
+        return RobustOutcome(
+            deltas=survivors,
+            kept_indices=kept,
+            aggregate=survivors.mean(axis=0),
+        )
+
+
+class MedianDefense(RobustAggregator):
+    """Coordinate-wise median (Yin et al., 2018): the aggregate IS the rule."""
+
+    name = "median"
+    replaces_aggregation = True
+
+    def apply(self, deltas: np.ndarray) -> RobustOutcome:
+        m = _check_matrix(deltas)
+        return RobustOutcome(
+            deltas=m,
+            kept_indices=tuple(range(m.shape[0])),
+            aggregate=coordinate_median(m),
+            replaces_aggregation=True,
+        )
+
+
+class TrimmedMeanDefense(RobustAggregator):
+    """Coordinate-wise trimmed mean sized for ``ceil(attacker_fraction · k)`` outliers."""
+
+    name = "trimmed_mean"
+    replaces_aggregation = True
+
+    def __init__(self, attacker_fraction: float = 0.2) -> None:
+        if not (0.0 <= attacker_fraction < 0.5):
+            raise ValueError(
+                f"attacker_fraction must lie in [0, 0.5), got {attacker_fraction}"
+            )
+        self.attacker_fraction = float(attacker_fraction)
+
+    def apply(self, deltas: np.ndarray) -> RobustOutcome:
+        m = _check_matrix(deltas)
+        trim = int(np.ceil(self.attacker_fraction * m.shape[0]))
+        return RobustOutcome(
+            deltas=m,
+            kept_indices=tuple(range(m.shape[0])),
+            aggregate=trimmed_mean(m, trim),
+            replaces_aggregation=True,
+        )
+
+
+class DefensePipeline(RobustAggregator):
+    """Compose defenses left-to-right: each stage sees the previous survivors.
+
+    The canonical shape is clip → filter → aggregate (e.g.
+    ``"norm_clip+krum"``): clipping bounds magnitudes, filtering removes
+    rows, and the *last* stage's aggregate (and its
+    ``replaces_aggregation`` flag) is the pipeline's.  Kept indices are
+    composed back into input-row indices; clip counts accumulate.
+    """
+
+    def __init__(self, stages: list[RobustAggregator]) -> None:
+        if not stages:
+            raise ValueError("a defense pipeline needs at least one stage")
+        self.stages = list(stages)
+        self.name = "+".join(stage.name for stage in self.stages)
+        self.replaces_aggregation = self.stages[-1].replaces_aggregation
+
+    def apply(self, deltas: np.ndarray) -> RobustOutcome:
+        m = _check_matrix(deltas)
+        kept = list(range(m.shape[0]))
+        clipped = 0
+        outcome: RobustOutcome | None = None
+        for stage in self.stages:
+            outcome = stage.apply(m)
+            kept = [kept[i] for i in outcome.kept_indices]
+            clipped += outcome.clipped
+            m = outcome.deltas
+        assert outcome is not None
+        return RobustOutcome(
+            deltas=m,
+            kept_indices=tuple(kept),
+            aggregate=outcome.aggregate,
+            clipped=clipped,
+            replaces_aggregation=self.replaces_aggregation,
+        )
+
+
+# -- factory ------------------------------------------------------------------
+def _make_primitive(name: str, attacker_fraction: float) -> RobustAggregator:
+    if name == "none":
+        return NoDefense()
+    if name == "norm_clip":
+        return NormClipDefense()
+    if name == "krum":
+        return KrumDefense(attacker_fraction, multi=False)
+    if name == "multi_krum":
+        return KrumDefense(attacker_fraction, multi=True)
+    if name == "median":
+        return MedianDefense()
+    if name == "trimmed_mean":
+        return TrimmedMeanDefense(attacker_fraction)
+    raise ValueError(
+        f"unknown defense {name!r}; expected one of: " + ", ".join(DEFENSES)
+    )
+
+
+def make_defense(
+    name: str, *, attacker_fraction: float = 0.2
+) -> RobustAggregator | None:
+    """Resolve a defense by name; ``"none"`` returns ``None`` (no defense layer).
+
+    ``name`` may chain primitives with ``"+"`` (applied left to right), e.g.
+    ``"norm_clip+multi_krum"``.  ``attacker_fraction`` sizes Krum's selection
+    and the trimmed mean's trim width.
+    """
+    key = name.strip().lower()
+    parts = [part.strip() for part in key.split("+") if part.strip()]
+    if not parts:
+        raise ValueError(f"empty defense name {name!r}")
+    if parts == ["none"]:
+        return None
+    if "none" in parts:
+        raise ValueError(f"'none' cannot be combined with other defenses: {name!r}")
+    stages = [_make_primitive(part, attacker_fraction) for part in parts]
+    if len(stages) == 1:
+        return stages[0]
+    for stage in stages[:-1]:
+        if stage.replaces_aggregation:
+            raise ValueError(
+                f"aggregate-replacing defense {stage.name!r} must be the last "
+                f"stage of a pipeline, got {name!r}"
+            )
+    return DefensePipeline(stages)
+
+
+def check_defense(name: str, attacker_fraction: float = 0.2) -> str:
+    """Validate a defense name (incl. '+'-chains) and fraction; returns the name.
+
+    Used by the config classes so a misconfigured defense fails at
+    construction time with the same message :func:`make_defense` would raise.
+    """
+    make_defense(name, attacker_fraction=attacker_fraction)
+    return name

@@ -3,7 +3,7 @@
 A :class:`ScenarioSpec` is the single description of one experiment: which
 system runs (FAIR-BFL, a baseline, or the vanilla blockchain), the workload
 shape (clients, samples, rounds, partitioning), the algorithmic knobs
-(strategy, flexibility mode, attack mix, incentive parameters) and the
+(strategy, flexibility mode, attack/defense mix, incentive parameters) and the
 execution backend.  Scenarios are plain data — they can be written as JSON or
 TOML files, swept as cartesian grids through :class:`ScenarioMatrix`, and
 executed by :class:`repro.runner.engine.ExperimentEngine` — so every benchmark
@@ -27,9 +27,11 @@ import json
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
 
+from repro.attacks.gradient_attacks import ATTACKS
 from repro.core.config import FairBFLConfig
 from repro.core.flexibility import OperatingMode
 from repro.fl.client import LocalTrainingConfig
+from repro.fl.robust import check_defense
 from repro.fl.fedavg import FedAvgConfig
 from repro.fl.fedprox import FedProxConfig
 from repro.incentive.contribution import ContributionConfig
@@ -108,6 +110,9 @@ class ScenarioSpec:
     attack_name: str = "sign_flip"
     min_attackers: int = 1
     max_attackers: int = 3
+    # -- defenses -------------------------------------------------------
+    defense: str = "none"
+    defense_fraction: float = 0.2
     # -- execution ------------------------------------------------------
     backend: str = "serial"
     max_workers: int | None = None
@@ -184,7 +189,21 @@ class ScenarioSpec:
                 + ", ".join(ROUND_MODES)
             )
         # Checked here (not only via FairBFLConfig) so scenarios for the
-        # baseline systems fail fast too, with a clean ScenarioError.
+        # baseline systems — including blockchain, whose config ignores the
+        # FL axes — fail fast too, with a clean ScenarioError.
+        if self.attack_name not in ATTACKS:
+            raise ScenarioError(
+                f"unknown attack {self.attack_name!r}; expected one of: "
+                + ", ".join(ATTACKS)
+            )
+        if not (0.0 <= self.defense_fraction < 0.5):
+            raise ScenarioError(
+                f"defense_fraction must lie in [0, 0.5), got {self.defense_fraction}"
+            )
+        try:
+            check_defense(self.defense, self.defense_fraction)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from exc
         if self.straggler_deadline <= 0.0:
             raise ScenarioError(
                 f"straggler_deadline must be positive, got {self.straggler_deadline}"
@@ -262,6 +281,8 @@ class ScenarioSpec:
             attack_name=self.attack_name,
             min_attackers=self.min_attackers,
             max_attackers=self.max_attackers,
+            defense=self.defense,
+            defense_fraction=self.defense_fraction,
             verify_signatures=self.verify_signatures,
             use_real_pow=self.use_real_pow,
             pow_difficulty=self.pow_difficulty,
@@ -276,6 +297,8 @@ class ScenarioSpec:
             num_rounds=self.num_rounds,
             participation_fraction=self.participation,
             local=self.local_config(),
+            defense=self.defense,
+            defense_fraction=self.defense_fraction,
             model_name=self.model_name,
             hidden_sizes=self.hidden_sizes,
             executor_backend=self.backend,

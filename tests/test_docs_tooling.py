@@ -25,11 +25,24 @@ SNAPSHOT = REPO_ROOT / "docs" / "cli_help.txt"
 
 
 def _render_help() -> str:
-    """The top-level --help text at a pinned 80-column width."""
+    """Top-level plus per-subcommand --help text at a pinned 80-column width.
+
+    Including the subcommand helps pins every flag (``--defense``,
+    ``--round-mode``, ...) in the snapshot, which is what lets
+    ``tools/check_docs.py`` assert that no CLI flag goes undocumented.
+    """
     previous = os.environ.get("COLUMNS")
     os.environ["COLUMNS"] = "80"
     try:
-        return build_parser().format_help()
+        import argparse
+
+        parser = build_parser()
+        sections = [parser.format_help()]
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for name, sub in action.choices.items():
+                    sections.append(f"{'=' * 24} {name} {'=' * 24}\n" + sub.format_help())
+        return "\n".join(sections)
     finally:
         if previous is None:
             os.environ.pop("COLUMNS", None)

@@ -8,7 +8,14 @@ Fails (exit code 1) when the documentation has drifted from the code:
    not mention;
 3. ``docs/scenarios.md`` is missing a ``ScenarioSpec`` field (the scenario
    reference must cover every field, with its default);
-4. an example scenario file under ``scenarios/`` fails to load/validate.
+4. an example scenario file under ``scenarios/`` fails to load/validate;
+5. a configuration axis value (a round mode, an attack name, a defense name)
+   is missing from the docs that must catalogue it (``docs/scenarios.md``
+   and ``docs/threat_model.md``) — the axis lists are imported from the
+   code (``ROUND_MODES``, ``ATTACKS``, ``DEFENSES``), so adding a value
+   without documenting it fails this check;
+6. a CLI flag accepted by ``repro.cli`` (any subcommand) does not appear in
+   the ``docs/cli_help.txt`` snapshot.
 
 Run from the repository root:
 
@@ -95,12 +102,73 @@ def check_example_scenarios() -> list[str]:
     return problems
 
 
+def check_axis_coverage() -> list[str]:
+    """Every round-mode, attack, and defense name must appear in the axis docs.
+
+    The value lists come from the code, so a new axis value cannot land
+    without a mention in both the scenario reference and the threat-model
+    guide.
+    """
+    _ensure_importable()
+    from repro.attacks.gradient_attacks import ATTACKS
+    from repro.fl.robust import DEFENSES
+    from repro.sim.rounds import ROUND_MODES
+
+    axes = {"round_mode": ROUND_MODES, "attack": ATTACKS, "defense": DEFENSES}
+    required_docs = ("docs/scenarios.md", "docs/threat_model.md")
+    problems = []
+    for rel in required_docs:
+        path = REPO_ROOT / rel
+        if not path.exists():
+            problems.append(f"{rel}: axis-reference document is missing")
+            continue
+        text = path.read_text(encoding="utf-8")
+        for axis, values in axes.items():
+            for value in values:
+                if not re.search(rf"\b{re.escape(value)}\b", text):
+                    problems.append(f"{rel} does not document {axis} value {value!r}")
+    return problems
+
+
+def check_cli_flag_coverage() -> list[str]:
+    """Every CLI flag (all subcommands) must appear in the docs/cli_help.txt snapshot."""
+    _ensure_importable()
+    import argparse
+
+    from repro.cli import build_parser
+
+    snapshot_path = REPO_ROOT / "docs" / "cli_help.txt"
+    if not snapshot_path.exists():
+        return ["docs/cli_help.txt: CLI help snapshot is missing"]
+    snapshot = snapshot_path.read_text(encoding="utf-8")
+
+    def walk(parser: argparse.ArgumentParser):
+        for action in parser._actions:
+            for option in action.option_strings:
+                if option.startswith("--"):
+                    yield option
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in action.choices.values():
+                    yield from walk(sub)
+
+    problems = []
+    for option in sorted(set(walk(build_parser()))):
+        if option not in snapshot:
+            problems.append(
+                f"docs/cli_help.txt does not mention CLI flag {option}; regenerate with "
+                "REGEN_SNAPSHOTS=1 PYTHONPATH=src python -m pytest tests/test_docs_tooling.py"
+            )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_module_docstrings()
         + check_readme_benchmarks()
         + check_scenario_reference()
         + check_example_scenarios()
+        + check_axis_coverage()
+        + check_cli_flag_coverage()
     )
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
