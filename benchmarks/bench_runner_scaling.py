@@ -21,8 +21,8 @@ from __future__ import annotations
 import time
 
 from benchmarks.conftest import emit, emit_json, visible_cpus
+from repro import api
 from repro.core.results import ComparisonResult
-from repro.runner.engine import ExperimentEngine
 from repro.runner.scenario import ScenarioSpec
 
 CLIENT_COUNTS = (10, 50, 200)
@@ -56,7 +56,9 @@ def _fingerprint(history) -> tuple:
 
 
 def _sweep():
-    engine = ExperimentEngine()
+    # One engine shared across the sweep (dataset memoisation); runs go
+    # through the public facade, the same path the CLI takes.
+    engine = api.ExperimentEngine()
     rows = []
     for n in CLIENT_COUNTS:
         timings: dict[str, float] = {}
@@ -66,7 +68,7 @@ def _sweep():
             spec = _scaling_spec(n, backend)
             engine.dataset_for(spec)  # exclude the (shared) partitioning cost
             start = time.perf_counter()
-            history = engine.run(spec)
+            history = api.run(spec, engine=engine)
             timings[backend] = time.perf_counter() - start
             fingerprints[backend] = _fingerprint(history)
             sim_delays[backend] = history.average_delay()

@@ -10,11 +10,14 @@ delay simulation behind the paper's latency figures.
 
 Quickstart
 ----------
->>> from repro.core import ExperimentSuite, run_fairbfl
->>> suite = ExperimentSuite(num_clients=10, num_samples=600, num_rounds=3)
->>> trainer, history = run_fairbfl(suite.dataset(), config=suite.fairbfl_config())
+>>> from repro import api
+>>> history = api.run("fairbfl", num_clients=10, num_samples=600, num_rounds=3)
 >>> history.average_delay() > 0
 True
+
+:mod:`repro.api` is the stable public facade (``run``/``sweep``/``compare``/
+``load_scenario``/``list_systems``); systems are pluggable through the
+registry in :mod:`repro.systems` (see ``docs/api.md``).
 """
 
 from repro.core.config import FairBFLConfig
@@ -34,10 +37,17 @@ from repro.fl.history import TrainingHistory
 from repro.runner.engine import ExperimentEngine
 from repro.runner.executor import ParallelExecutor
 from repro.runner.scenario import ScenarioMatrix, ScenarioSpec
+from repro.systems import System, SystemCapabilities, register_system, system_names
+from repro import api
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "api",
+    "System",
+    "SystemCapabilities",
+    "register_system",
+    "system_names",
     "FairBFLConfig",
     "FairBFLTrainer",
     "OperatingMode",

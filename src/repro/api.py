@@ -1,0 +1,222 @@
+"""The stable public API facade.
+
+``repro.api`` is the one import that benchmarks, the CLI, notebooks, and
+downstream scripts should reach for.  It re-exports the declarative scenario
+layer and the system registry, and adds five verbs:
+
+* :func:`run` — execute one scenario (spec, mapping, or system name plus
+  field overrides) and return its :class:`~repro.fl.history.TrainingHistory`;
+* :func:`sweep` — expand scenario files/mappings/spec lists and run every
+  grid point through one dataset-memoising engine;
+* :func:`compare` — run several systems on one shared workload, applying
+  each field only to the systems whose registered capabilities support it;
+* :func:`load_scenario` — parse a JSON/TOML file or mapping into validated
+  :class:`~repro.runner.scenario.ScenarioSpec` objects;
+* :func:`list_systems` — the registered system names (CLI choices, sweep
+  axes, and docs derive from the same list).
+
+``__all__`` is the compatibility contract: a snapshot test pins it, so
+anything listed here stays importable and call-compatible across releases.
+
+>>> from repro import api
+>>> history = api.run("fedavg", num_clients=8, num_samples=400, num_rounds=2)
+>>> len(history)
+2
+
+Registering a new system (see ``docs/api.md`` and
+``examples/custom_system.py``)::
+
+    from repro import api
+
+    class MySystem(api.System):
+        name = "my-system"
+        capabilities = api.SystemCapabilities(needs_dataset=True)
+        def build(self, spec, dataset): ...
+
+    api.register_system(MySystem())
+    api.run("my-system", num_rounds=3)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.core.results import ComparisonResult, summarize_history
+from repro.fl.history import TrainingHistory
+from repro.runner.engine import ExperimentEngine, ScenarioResult
+from repro.runner.scenario import (
+    ScenarioError,
+    ScenarioMatrix,
+    ScenarioSpec,
+    load_scenario_file,
+    scenarios_from_mapping,
+)
+from repro.systems import (
+    RunResult,
+    System,
+    SystemCapabilities,
+    filter_unsupported_axes,
+    get_system,
+    load_plugins,
+    register_system,
+    system_names,
+    unregister_system,
+)
+
+__all__ = [  # pinned by tests/test_systems_api.py::test_public_api_snapshot
+    "ComparisonResult",
+    "ExperimentEngine",
+    "RunResult",
+    "ScenarioError",
+    "ScenarioMatrix",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "System",
+    "SystemCapabilities",
+    "TrainingHistory",
+    "compare",
+    "get_system",
+    "list_systems",
+    "load_plugins",
+    "load_scenario",
+    "register_system",
+    "run",
+    "sweep",
+    "unregister_system",
+]
+
+
+def list_systems() -> tuple[str, ...]:
+    """Names of every registered system, in registration order."""
+    return system_names()
+
+
+def load_scenario(source) -> list[ScenarioSpec]:
+    """Expand a scenario source into validated specs.
+
+    ``source`` is a ``.json``/``.toml`` path or an already-parsed mapping in
+    any of the three document shapes (single scenario, explicit list,
+    cartesian matrix — see ``docs/scenarios.md``).
+    """
+    if isinstance(source, Mapping):
+        return scenarios_from_mapping(dict(source))
+    return load_scenario_file(source)
+
+
+def _as_spec(target, fields: dict) -> ScenarioSpec:
+    """Normalise run()'s flexible target argument into one validated spec."""
+    if isinstance(target, ScenarioSpec):
+        return target.with_overrides(**fields) if fields else target.validate()
+    if isinstance(target, Mapping):
+        return ScenarioSpec.from_mapping({**dict(target), **fields})
+    if isinstance(target, str):
+        mapping = dict(fields)
+        mapping.setdefault("name", target)
+        mapping["system"] = target
+        return ScenarioSpec.from_mapping(mapping)
+    if target is None:
+        return ScenarioSpec.from_mapping(fields)
+    raise ScenarioError(
+        "run() expects a ScenarioSpec, a field mapping, or a system name; got "
+        f"{type(target).__name__}"
+    )
+
+
+def run(target=None, *, engine: ExperimentEngine | None = None, **fields) -> TrainingHistory:
+    """Run one scenario and return its history.
+
+    ``target`` may be a validated :class:`ScenarioSpec`, a plain field
+    mapping, a registered system name (``fields`` then override the scenario
+    defaults), or ``None`` (``fields`` describe the whole scenario).  Pass an
+    :class:`ExperimentEngine` to share dataset memoisation across calls.
+    """
+    spec = _as_spec(target, fields)
+    return (engine or ExperimentEngine()).run(spec)
+
+
+def sweep(
+    *sources,
+    engine: ExperimentEngine | None = None,
+    overrides: Mapping[str, object] | None = None,
+    title: str | None = None,
+) -> tuple[ComparisonResult, list[ScenarioResult]]:
+    """Run every scenario expanded from ``sources`` and tabulate the summaries.
+
+    Each source may be a scenario file path, a parsed document mapping, a
+    :class:`ScenarioSpec`, or an iterable of specs.  ``overrides`` apply to
+    every expanded scenario, with capability-gated axis fields (round modes,
+    attacks, defenses) dropped for systems that do not support them.
+    Datasets are memoised across the whole sweep by one shared engine.
+    """
+    specs: list[ScenarioSpec] = []
+    for source in sources:
+        if isinstance(source, ScenarioSpec):
+            specs.append(source.validate())
+        elif isinstance(source, Mapping):
+            specs.extend(scenarios_from_mapping(dict(source)))
+        elif isinstance(source, Iterable) and not isinstance(source, (str, Path)):
+            for spec in source:
+                if not isinstance(spec, ScenarioSpec):
+                    raise ScenarioError(
+                        "sweep() iterables must contain ScenarioSpec objects, got "
+                        f"{type(spec).__name__}"
+                    )
+                specs.append(spec.validate())
+        else:
+            specs.extend(load_scenario_file(source))
+    if overrides:
+        applied: list[ScenarioSpec] = []
+        for spec in specs:
+            filtered = filter_unsupported_axes(spec.system, overrides)
+            applied.append(spec.with_overrides(**filtered) if filtered else spec)
+        specs = applied
+    if title is None:
+        title = f"Scenario sweep ({len(specs)} scenario{'s' if len(specs) != 1 else ''})"
+    return (engine or ExperimentEngine()).sweep_table(specs, title=title)
+
+
+def compare(
+    systems: Iterable[str] | None = None,
+    *,
+    engine: ExperimentEngine | None = None,
+    per_system: Mapping[str, Mapping[str, object]] | None = None,
+    title: str = "System comparison (same workload, same seed)",
+    **fields,
+) -> tuple[ComparisonResult, list[ScenarioResult]]:
+    """Run several systems on one shared workload and tabulate the summaries.
+
+    ``systems`` defaults to every registered system (plugins included).  The
+    shared ``fields`` are applied per system through the capability filter —
+    e.g. ``round_mode="async"`` reaches only the systems that support round
+    modes — and ``per_system`` adds system-specific overrides on top (the
+    CLI uses it for FedProx's straggler drop).  Datasets are memoised across
+    the comparison.
+    """
+    names = tuple(systems) if systems is not None else system_names()
+    per_system = per_system or {}
+    specs: list[ScenarioSpec] = []
+    for name in names:
+        get_system(name)  # fail fast with the registry's actionable message
+        mapping = filter_unsupported_axes(name, fields)
+        mapping.update(per_system.get(name, {}))
+        mapping.setdefault("name", name)
+        mapping["system"] = name
+        specs.append(ScenarioSpec.from_mapping(mapping))
+    shared_engine = engine or ExperimentEngine()
+    table = ComparisonResult(
+        title=title,
+        columns=["system", "avg_delay_s", "avg_accuracy", "final_accuracy"],
+    )
+    results: list[ScenarioResult] = []
+    for spec in specs:
+        history = shared_engine.run(spec)
+        results.append(ScenarioResult(spec=spec, history=history))
+        summary = summarize_history(history)
+        table.add_row(
+            spec.system,
+            summary["average_delay"],
+            summary["average_accuracy"],
+            summary["final_accuracy"],
+        )
+    return table, results

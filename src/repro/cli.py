@@ -11,23 +11,32 @@ Run the reproduced systems without writing any Python:
    python -m repro.cli run fairbfl --attacks --attack-name scaling --defense krum
    python -m repro.cli compare --clients 12 --rounds 8 --export results.csv
    python -m repro.cli sweep --scenario scenarios/example_sweep.toml
+   python -m repro.cli --plugins examples/custom_system.py run fedavg-momentum
 
 ``run`` executes one system and prints its per-round series and summary;
-``compare`` runs FAIR-BFL, FAIR-BFL(discard), FedAvg, FedProx, and the vanilla
-blockchain on the same workload and prints the Figure-4-style comparison;
-``sweep`` expands a JSON/TOML scenario file (single scenario, explicit list,
-or cartesian matrix — see ``docs/scenarios.md``) and runs every grid point.
+``compare`` runs every registered system on the same workload and prints the
+Figure-4-style comparison; ``sweep`` expands a JSON/TOML scenario file
+(single scenario, explicit list, or cartesian matrix — see
+``docs/scenarios.md``) and runs every grid point.
 
-All three subcommands drive through the same
-:class:`~repro.runner.engine.ExperimentEngine`, so a CLI run, a benchmark,
-and a scenario file with the same parameters produce identical histories.
+The system choices are **derived from the system registry**
+(:mod:`repro.systems`): ``--plugins`` (repeatable, also the
+``REPRO_PLUGINS`` environment variable) imports plugin modules that call
+``register_system()`` before the parser is built, so a system registered
+from outside the repository runs through ``run``/``sweep``/``compare`` with
+no CLI changes.  All three subcommands drive through the stable
+:mod:`repro.api` facade, so a CLI run, a benchmark, and a scenario file with
+the same parameters produce identical histories.
+
 The ``--backend`` flag selects how each round's local updates fan out
 (``serial`` | ``thread`` | ``process``); results are bit-identical across
-backends.  ``--round-mode`` selects the round discipline for the FAIR-BFL
-systems (``sync`` | ``semi_sync`` | ``async``; see ``docs/scenarios.md``).
-``--attacks``/``--attack-name`` enable per-round forgeries and
-``--defense``/``--defense-fraction`` route aggregation through a
-robust-aggregation pipeline (see ``docs/threat_model.md``).
+backends.  ``--round-mode`` selects the round discipline (``sync`` |
+``semi_sync`` | ``async``; see ``docs/scenarios.md``) and
+``--attacks``/``--attack-name``/``--defense`` configure the threat model
+(``docs/threat_model.md``).  Axis flags apply only to systems whose
+registered capabilities support them: ``run`` rejects an unsupported
+combination with an actionable error, while ``compare`` and sweep-wide
+overrides apply each flag to the systems that can honour it.
 """
 
 from __future__ import annotations
@@ -35,25 +44,42 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import api
 from repro.attacks.gradient_attacks import ATTACKS
 from repro.core.io import save_comparison_csv, save_history_csv
+from repro.core.results import summarize_history
 from repro.fl.robust import DEFENSES
-from repro.core.results import ComparisonResult, summarize_history
-from repro.runner.engine import ExperimentEngine
 from repro.runner.executor import EXECUTOR_BACKENDS
-from repro.runner.scenario import ScenarioError, ScenarioSpec, load_scenario_file
+from repro.runner.scenario import ScenarioError
 from repro.sim.rounds import ROUND_MODES
+from repro.systems import SystemRegistryError, load_plugins, system_names
 
 __all__ = ["build_parser", "main"]
 
-SYSTEMS = ("fairbfl", "fairbfl-discard", "fedavg", "fedprox", "blockchain")
+#: System-specific spec overrides the CLI applies on top of the shared flags
+#: (the CLI's FedProx baseline keeps the paper's 2% straggler drop).
+_PER_SYSTEM_OVERRIDES = {"fedprox": {"drop_percent": 0.02}}
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the argument parser (exposed separately for testing)."""
+    """Build the argument parser (exposed separately for testing).
+
+    The ``run`` choices and the ``compare`` roster come from the system
+    registry, so plugins loaded before this call (``--plugins`` /
+    ``REPRO_PLUGINS``) appear automatically.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FAIR-BFL reproduction: run the paper's systems from the command line.",
+    )
+    parser.add_argument(
+        "--plugins",
+        action="append",
+        default=None,
+        metavar="MODULE_OR_FILE",
+        help="import a plugin module (dotted name or .py path) that registers "
+        "extra systems before the subcommand runs; repeatable, also read from "
+        "the REPRO_PLUGINS environment variable",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -87,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
             choices=list(ROUND_MODES),
             help="round discipline: sync waits for every client, semi_sync drops "
             "stragglers at a deadline, async proceeds on a quorum with "
-            "staleness-weighted late aggregation (FAIR-BFL systems)",
+            "staleness-weighted late aggregation (round-mode capable systems)",
         )
         p.add_argument(
             "--straggler-deadline",
@@ -137,11 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker count for the thread/process backends (default: CPU count)",
         )
 
-    run_p = sub.add_parser("run", help="run a single system")
-    run_p.add_argument("system", choices=SYSTEMS)
+    run_p = sub.add_parser("run", help="run a single registered system")
+    run_p.add_argument("system", choices=list(system_names()))
     add_common(run_p)
 
-    cmp_p = sub.add_parser("compare", help="run all systems on the same workload")
+    cmp_p = sub.add_parser("compare", help="run every registered system on the same workload")
     add_common(cmp_p)
 
     sweep_p = sub.add_parser("sweep", help="run every scenario in a JSON/TOML scenario file")
@@ -159,25 +185,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--round-mode",
         default=None,
         choices=list(ROUND_MODES),
-        help="override the round discipline of every scenario in the sweep",
+        help="override the round discipline of every round-mode capable scenario in the sweep",
     )
     sweep_p.add_argument(
         "--defense",
         default=None,
-        help="override the robust-aggregation defense of every scenario in the sweep",
+        help="override the robust-aggregation defense of every defense-capable scenario in the sweep",
     )
     return parser
 
 
-def _spec_from_args(system: str, args: argparse.Namespace) -> ScenarioSpec:
-    """Translate the run/compare flags into a validated scenario."""
-    overrides = {}
-    if system == "fedprox":
-        # The CLI's FedProx baseline keeps the paper's 2% straggler drop.
-        overrides["drop_percent"] = 0.02
-    return ScenarioSpec(
-        name=system,
-        system=system,
+def _is_plugins_flag(token: str) -> bool:
+    """True for ``--plugins`` and the abbreviations argparse would accept.
+
+    argparse prefix-matches long options, so ``--plugin`` (or ``--pl``)
+    reaches the same action; the pre-scan must agree or an abbreviated flag
+    would parse fine yet never load the plugin.  At the top level only
+    ``--plugins`` starts with ``--p``, so any such prefix is unambiguous.
+    """
+    return token.startswith("--p") and "--plugins".startswith(token)
+
+
+def _plugin_entries(argv: list[str]) -> list[str]:
+    """Pre-scan argv for --plugins values (needed before the parser exists).
+
+    Plugins must load before ``build_parser()`` so registry-derived choices
+    include plugin systems; argparse itself still consumes the flag normally.
+    """
+    entries: list[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if not arg.startswith("-"):
+            # The subcommand: argparse only accepts the top-level --plugins
+            # *before* it, and past this point the same abbreviations mean
+            # subcommand flags (--p is run's --participation).
+            break
+        flag, sep, value = arg.partition("=")
+        if _is_plugins_flag(flag):
+            if sep:
+                entries.append(value)
+            elif i + 1 < len(argv):
+                entries.append(argv[i + 1])
+                i += 2
+                continue
+        i += 1
+    return entries
+
+
+def _fields_from_args(args: argparse.Namespace) -> dict:
+    """Translate the shared run/compare flags into scenario fields."""
+    return dict(
         num_clients=args.clients,
         miners=args.miners,
         num_rounds=args.rounds,
@@ -197,10 +255,8 @@ def _spec_from_args(system: str, args: argparse.Namespace) -> ScenarioSpec:
         defense_fraction=args.defense_fraction,
         seed=args.seed,
         backend=args.backend,
-        max_workers=args.workers,
         model_name="logreg",
-        **overrides,
-    ).validate()
+    )
 
 
 def _print_history(name: str, hist) -> None:
@@ -219,16 +275,25 @@ def _print_history(name: str, hist) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    try:
+        load_plugins(_plugin_entries(argv), include_env=True)
+    except SystemRegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     args = build_parser().parse_args(argv)
-    engine = ExperimentEngine()
+    engine = api.ExperimentEngine()
 
     if args.command == "run":
+        fields = _fields_from_args(args)
+        fields["name"] = args.system
+        fields["max_workers"] = args.workers
+        fields.update(_PER_SYSTEM_OVERRIDES.get(args.system, {}))
         try:
-            spec = _spec_from_args(args.system, args)
+            hist = api.run(args.system, engine=engine, **fields)
         except ScenarioError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        hist = engine.run(spec)
         _print_history(args.system, hist)
         if args.export:
             path = save_history_csv(hist, args.export)
@@ -236,21 +301,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "compare":
-        table = ComparisonResult(
-            title="System comparison (same workload, same seed)",
-            columns=["system", "avg_delay_s", "avg_accuracy", "final_accuracy"],
-        )
+        fields = _fields_from_args(args)
+        fields["max_workers"] = args.workers
         try:
-            specs = {name: _spec_from_args(name, args) for name in SYSTEMS}
+            table, _results = api.compare(
+                engine=engine, per_system=_PER_SYSTEM_OVERRIDES, **fields
+            )
         except ScenarioError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        for name in SYSTEMS:
-            hist = engine.run(specs[name])
-            summary = summarize_history(hist)
-            table.add_row(
-                name, summary["average_delay"], summary["average_accuracy"], summary["final_accuracy"]
-            )
         print(table.to_text())
         if args.export:
             path = save_comparison_csv(table, args.export)
@@ -258,29 +317,25 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     # sweep
+    # Apply only the flags the user actually passed; a scenario file's own
+    # backend/max_workers settings are otherwise preserved, and axis overrides
+    # reach only the scenarios whose systems support the axis.
+    overrides = {}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.workers is not None:
+        overrides["max_workers"] = args.workers
+    if args.round_mode is not None:
+        overrides["round_mode"] = args.round_mode
+    if args.defense is not None:
+        overrides["defense"] = args.defense
     try:
-        specs: list[ScenarioSpec] = []
-        for path in args.scenario:
-            specs.extend(load_scenario_file(path))
-        # Apply only the flags the user actually passed; a scenario file's own
-        # backend/max_workers settings are otherwise preserved.
-        overrides = {}
-        if args.backend is not None:
-            overrides["backend"] = args.backend
-        if args.workers is not None:
-            overrides["max_workers"] = args.workers
-        if args.round_mode is not None:
-            overrides["round_mode"] = args.round_mode
-        if args.defense is not None:
-            overrides["defense"] = args.defense
-        if overrides:
-            specs = [spec.with_overrides(**overrides) for spec in specs]
+        table, _results = api.sweep(
+            *args.scenario, engine=engine, overrides=overrides or None
+        )
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    table, _results = engine.sweep_table(
-        specs, title=f"Scenario sweep ({len(specs)} scenario{'s' if len(specs) != 1 else ''})"
-    )
     print(table.to_text())
     if args.export:
         path = save_comparison_csv(table, args.export)

@@ -3,6 +3,11 @@
 Defaults follow the paper's Section 5.1: ``n = 100`` clients, ``m = 2``
 miners, ``η = 0.01``, ``E = 5``, ``B = 10``, non-IID data, 100 communication
 rounds, DBSCAN-based contribution identification.
+
+This class is the *authoritative* validator for the FAIR-BFL systems: the
+registered systems build it from a scenario via
+``ScenarioSpec.fairbfl_config()``, which is how scenario validation stays in
+lockstep with the rules enforced here (see :mod:`repro.systems`).
 """
 
 from __future__ import annotations

@@ -4,6 +4,12 @@ These helpers standardise how the paper's experimental setup is instantiated
 (dataset size, partitioning scheme, hyper-parameters) so every figure is
 regenerated from the same building blocks, differing only in the swept
 parameter.
+
+The ``run_*`` helpers are the hand-wired legacy entry points kept for the
+focused tests and examples that construct trainers directly; scenario-driven
+call sites (benchmarks, CLI, scripts) should go through :mod:`repro.api`,
+whose engine dispatches via the system registry (:mod:`repro.systems`) —
+``ExperimentSuite.run()`` already routes that way.
 """
 
 from __future__ import annotations

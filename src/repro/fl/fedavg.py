@@ -122,6 +122,16 @@ class FedAvgTrainer:
         """Hook for subclasses (FedProx drops a fraction of updates here)."""
         return updates
 
+    def _aggregate(self, updates) -> np.ndarray:
+        """Apply the round's aggregation; hook for server-side variants.
+
+        Subclasses (e.g. the momentum-FedAvg system registered by
+        ``examples/custom_system.py``) can post-process the server's
+        aggregate here, as long as they leave ``self.server`` holding the new
+        global parameters.
+        """
+        return self.server.aggregate(updates)
+
     def run_round(self, round_index: int, clock: SimulatedClock) -> RoundRecord:
         """Execute one communication round and return its record."""
         selected = self.selector.select(len(self.clients), self._selection_rng)
@@ -139,7 +149,7 @@ class FedAvgTrainer:
             avg_acc = self.server.evaluate(self.dataset.test_images, self.dataset.test_labels)
             train_loss = 0.0
         else:
-            self.server.aggregate(updates)
+            self._aggregate(updates)
             # Average verification accuracy of the *new global model* across the
             # round's participants -- the same metric the FAIR-BFL trainer uses,
             # so the accuracy comparisons of Figs. 4b/5b/7b are apples-to-apples.

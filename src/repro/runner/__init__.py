@@ -8,7 +8,9 @@ Three layers (see ``docs/architecture.md``):
 * :mod:`repro.runner.scenario` — :class:`ScenarioSpec` /
   :class:`ScenarioMatrix`, the declarative JSON/TOML experiment layer;
 * :mod:`repro.runner.engine` — :class:`ExperimentEngine`, which executes
-  scenarios against memoised datasets.
+  scenarios against memoised datasets by dispatching through the system
+  registry (:mod:`repro.systems`); systems that declare
+  ``needs_dataset=False`` never trigger a dataset build.
 
 All symbols are re-exported lazily (PEP 562): the trainers import
 ``repro.runner.executor`` while the scenario/engine layers import the

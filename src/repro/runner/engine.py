@@ -1,35 +1,32 @@
 """The experiment engine: one entry point for every run in the repository.
 
 The engine turns a validated :class:`~repro.runner.scenario.ScenarioSpec`
-into a trainer, runs it, and returns its
-:class:`~repro.fl.history.TrainingHistory`.  Federated datasets are memoised
-by their generating fields, so a sweep that varies only algorithmic knobs
-(learning rate, strategy, miner count, ...) partitions the data exactly once
-— the same guarantee :class:`repro.core.experiment.ExperimentSuite` gave the
-hand-wired benchmarks, now available to scenario files and the CLI alike.
+into a run of the *registered* system it names: it resolves the spec's
+``system`` through the registry (:mod:`repro.systems`), builds the federated
+dataset only when the system's capabilities declare it needs one, and
+executes ``system.build(spec, dataset).run()`` — so adding a system is a
+registration, not an engine patch.  Federated datasets are memoised by their
+generating fields, so a sweep that varies only algorithmic knobs (learning
+rate, strategy, miner count, ...) partitions the data exactly once.
 
-The heavy lifting of a round stays in :mod:`repro.core.procedures`; the
-engine's job is wiring (dataset → config → trainer → history) plus the
-scenario-level conveniences: :meth:`ExperimentEngine.run_many` for scenario
-lists and :meth:`ExperimentEngine.sweep_table` for the Figure-style summary
-tables the benchmarks print.
+The heavy lifting of a round stays in the trainers (e.g.
+:mod:`repro.core.procedures`); the engine's job is wiring (registry → dataset
+→ run) plus the scenario-level conveniences: :meth:`ExperimentEngine.run_many`
+for scenario lists and :meth:`ExperimentEngine.sweep_table` for the
+Figure-style summary tables the benchmarks print.  Prefer the stable facade
+:mod:`repro.api` (``run``/``sweep``/``compare``) for new call sites.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.experiment import (
-    build_federated_dataset,
-    run_fairbfl,
-    run_fedavg,
-    run_fedprox,
-    run_vanilla_blockchain,
-)
+from repro.core.experiment import build_federated_dataset
 from repro.core.results import ComparisonResult, summarize_history
 from repro.datasets.federated import FederatedDataset
 from repro.fl.history import TrainingHistory
 from repro.runner.scenario import ScenarioSpec
+from repro.systems.registry import RunResult, get_system
 
 __all__ = ["ScenarioResult", "ExperimentEngine", "run_scenario"]
 
@@ -49,14 +46,16 @@ class ScenarioResult:
 
 @dataclass
 class ExperimentEngine:
-    """Executes scenarios, memoising datasets across runs.
+    """Executes scenarios through the system registry, memoising datasets.
 
     Attributes
     ----------
     cache_datasets:
         When True (default) federated datasets are reused across scenarios
         that share the same generating fields (clients, samples, scheme,
-        noise, seed), matching the benchmark suite's behaviour.
+        noise, seed), matching the benchmark suite's behaviour.  Systems
+        whose registered capabilities set ``needs_dataset=False`` (the
+        vanilla blockchain) never trigger a dataset build at all.
     """
 
     cache_datasets: bool = True
@@ -84,24 +83,18 @@ class ExperimentEngine:
         )
 
     # ------------------------------------------------------------------
+    def run_result(self, spec: ScenarioSpec) -> RunResult:
+        """Execute one scenario and return the system's typed :class:`RunResult`."""
+        spec.validate()
+        system = get_system(spec.system)
+        dataset = self.dataset_for(spec) if system.capabilities.needs_dataset else None
+        result = system.build(spec, dataset).run()
+        result.history.label = spec.name
+        return result
+
     def run(self, spec: ScenarioSpec) -> TrainingHistory:
         """Execute one scenario end-to-end and return its history."""
-        spec.validate()
-        if spec.system in ("fairbfl", "fairbfl-discard"):
-            trainer, history = run_fairbfl(self.dataset_for(spec), config=spec.fairbfl_config())
-            trainer.close()
-        elif spec.system == "fedavg":
-            trainer, history = run_fedavg(self.dataset_for(spec), config=spec.fedavg_config())
-            trainer.close()
-        elif spec.system == "fedprox":
-            trainer, history = run_fedprox(self.dataset_for(spec), config=spec.fedprox_config())
-            trainer.close()
-        elif spec.system == "blockchain":
-            _, history = run_vanilla_blockchain(config=spec.blockchain_config())
-        else:  # pragma: no cover - validate() restricts the choices
-            raise ValueError(f"unknown system {spec.system!r}")
-        history.label = spec.name
-        return history
+        return self.run_result(spec).history
 
     def run_many(self, specs: list[ScenarioSpec]) -> list[ScenarioResult]:
         """Execute a list of scenarios (e.g. an expanded matrix) in order."""

@@ -9,12 +9,16 @@ TOML files, swept as cartesian grids through :class:`ScenarioMatrix`, and
 executed by :class:`repro.runner.engine.ExperimentEngine` — so every benchmark
 and CLI subcommand drives through one engine instead of hand-rolled wiring.
 
-Validation is delegated to the authoritative config classes
-(:class:`repro.core.config.FairBFLConfig` and friends): building the configs
-eagerly in :meth:`ScenarioSpec.validate` means a scenario file can never
-drift from what `core/config.py` accepts.  All scenario problems are raised
-as :class:`ScenarioError` (a :class:`ValueError`) with the offending field
-named.
+Validation is derived from the system registry
+(:mod:`repro.systems.registry`): :meth:`ScenarioSpec.validate` resolves the
+``system`` field through :func:`~repro.systems.registry.get_system`, applies
+the capability-derived axis checks (``round_mode``/``attacks``/``defense``
+only where the registered system supports them), and asks the system to
+build its authoritative config (:class:`repro.core.config.FairBFLConfig` and
+friends) — so a scenario file can never drift from what the registered
+systems accept, and a plugin-registered system validates exactly like a
+built-in.  All scenario problems are raised as :class:`ScenarioError` (a
+:class:`ValueError`) with the offending field named.
 
 See ``docs/scenarios.md`` for the field-by-field reference and
 ``scenarios/`` for example files.
@@ -38,6 +42,12 @@ from repro.incentive.contribution import ContributionConfig
 from repro.runner.executor import EXECUTOR_BACKENDS
 from repro.sim.rounds import ROUND_MODES
 from repro.sim.vanilla_blockchain import VanillaBlockchainConfig
+from repro.systems.registry import (
+    SystemRegistryError,
+    check_spec_axes,
+    get_system,
+    system_names,
+)
 
 __all__ = [
     "SCENARIO_SYSTEMS",
@@ -48,10 +58,15 @@ __all__ = [
     "load_scenario_file",
 ]
 
-#: Systems a scenario can run; mirrors the CLI ``run`` choices.
-SCENARIO_SYSTEMS = ("fairbfl", "fairbfl-discard", "fedavg", "fedprox", "blockchain")
-
 _PARTITION_SCHEMES = ("iid", "shard", "dirichlet")
+
+
+def __getattr__(name: str):
+    # Kept for backwards compatibility: the runnable systems used to be a
+    # hardcoded tuple here; they are now whatever the registry holds.
+    if name == "SCENARIO_SYSTEMS":
+        return system_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class ScenarioError(ValueError):
@@ -167,12 +182,11 @@ class ScenarioSpec:
 
     # ------------------------------------------------------------------
     def validate(self) -> "ScenarioSpec":
-        """Validate the spec by building the authoritative config objects."""
-        if self.system not in SCENARIO_SYSTEMS:
-            raise ScenarioError(
-                f"unknown system {self.system!r}; expected one of: "
-                + ", ".join(SCENARIO_SYSTEMS)
-            )
+        """Validate the spec against the registered system's config and axes."""
+        try:
+            system = get_system(self.system)
+        except SystemRegistryError as exc:
+            raise ScenarioError(str(exc)) from exc
         if self.scheme not in _PARTITION_SCHEMES:
             raise ScenarioError(
                 f"unknown partition scheme {self.scheme!r}; expected one of: "
@@ -223,17 +237,17 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"low_quality_fraction must be in [0, 1], got {self.low_quality_fraction}"
             )
+        # Capability-derived applicability: engaging round_mode/attacks/defense
+        # on a system whose registration does not support the axis fails here.
         try:
-            # The config constructors carry the real validation rules; building
-            # them here keeps scenario validation in lockstep with core/config.py.
-            if self.system.startswith("fairbfl"):
-                self.fairbfl_config()
-            elif self.system == "fedavg":
-                self.fedavg_config()
-            elif self.system == "fedprox":
-                self.fedprox_config()
-            else:
-                self.blockchain_config()
+            check_spec_axes(system, self)
+        except SystemRegistryError as exc:
+            raise ScenarioError(str(exc)) from exc
+        try:
+            # The registered system builds its authoritative config, which
+            # carries the real validation rules — scenario validation stays in
+            # lockstep with core/config.py (and with plugin config classes).
+            system.validate(self)
         except ScenarioError:
             raise
         except (ValueError, TypeError) as exc:

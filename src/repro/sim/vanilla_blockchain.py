@@ -15,6 +15,11 @@ proof-of-work solve **event** — the winning miner's
 and the replicas append it; fork merges are scheduled reorganisation events.
 Chain state and round timing therefore come from one simulation
 (:class:`~repro.sim.rounds.EventRoundSimulator`) and cannot disagree.
+
+The simulator is registered as the ``blockchain`` system
+(:mod:`repro.systems.builtin`) with ``needs_dataset=False``: its workload is
+gradient-*sized* transactions, not gradients, so the experiment engine never
+builds a federated dataset for it.
 """
 
 from __future__ import annotations

@@ -1,0 +1,349 @@
+"""The pluggable system registry.
+
+Every runnable system in the repository — FAIR-BFL, its discard variant, the
+FedAvg/FedProx baselines, the vanilla blockchain, and anything registered
+from outside — is a :class:`System`: a named object that declares its
+:class:`SystemCapabilities` and knows how to :meth:`~System.build` a run for
+a scenario.  The registry maps system names to these objects, and everything
+that used to hard-code the system list derives from it instead:
+
+* the CLI's ``run`` choices and ``compare`` roster come from
+  :func:`system_names`;
+* :meth:`repro.runner.scenario.ScenarioSpec.validate` resolves the spec's
+  ``system`` through :func:`get_system` and applies the capability-derived
+  axis checks of :func:`check_spec_axes` (e.g. ``round_mode`` only where a
+  system supports round modes);
+* :class:`repro.runner.engine.ExperimentEngine` dispatches through
+  :meth:`System.build` and skips dataset construction entirely when
+  ``capabilities.needs_dataset`` is False.
+
+Register a new system with :func:`register_system` (see ``docs/api.md`` and
+``examples/custom_system.py``); the CLI loads plugin modules with
+``--plugins`` so new systems run through ``run``/``sweep``/``compare``
+without touching core code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import MISSING, dataclass, field
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.fl.history import TrainingHistory
+
+__all__ = [
+    "SystemRegistryError",
+    "DuplicateSystemError",
+    "UnknownSystemError",
+    "SystemCapabilities",
+    "RunResult",
+    "System",
+    "TrainerRun",
+    "SYSTEMS",
+    "register_system",
+    "unregister_system",
+    "get_system",
+    "system_names",
+    "systems_supporting",
+    "check_spec_axes",
+    "filter_unsupported_axes",
+]
+
+
+class SystemRegistryError(ValueError):
+    """Base error for registry problems (a :class:`ValueError`)."""
+
+
+class DuplicateSystemError(SystemRegistryError):
+    """A system name is already taken by another registered system."""
+
+
+class UnknownSystemError(SystemRegistryError):
+    """No system with the requested name is registered."""
+
+
+@dataclass(frozen=True)
+class SystemCapabilities:
+    """What a registered system supports, declared once and derived everywhere.
+
+    Attributes
+    ----------
+    needs_dataset:
+        Whether :meth:`System.build` needs a federated dataset.  When False
+        the engine never constructs (or memoises) one for this system — the
+        vanilla blockchain is the built-in example.
+    round_modes:
+        Whether the system honours the ``round_mode`` axis (``sync`` /
+        ``semi_sync`` / ``async``) and its tuning knobs.
+    attacks:
+        Whether the system can schedule malicious clients (``attacks``,
+        ``attack_name``, ``min_attackers``, ``max_attackers``).
+    defenses:
+        Whether the system routes aggregation through the robust-aggregation
+        pipeline (``defense``, ``defense_fraction``).
+    """
+
+    needs_dataset: bool = True
+    round_modes: bool = False
+    attacks: bool = False
+    defenses: bool = False
+
+
+#: Scenario fields owned by each capability axis.  The guard defaults are
+#: fallbacks only: when the spec is a dataclass (ScenarioSpec is) the actual
+#: field default is read from it, so the values cannot drift (the registry
+#: deliberately does not import the scenario layer — it imports *us*).
+_AXIS_FIELDS: dict[str, tuple[str, ...]] = {
+    "round_modes": ("round_mode", "straggler_deadline", "async_quorum", "staleness_decay"),
+    "attacks": ("attacks", "attack_name", "min_attackers", "max_attackers"),
+    "defenses": ("defense", "defense_fraction"),
+}
+_AXIS_GUARDS: dict[str, tuple[str, object]] = {
+    "round_modes": ("round_mode", "sync"),
+    "attacks": ("attacks", False),
+    "defenses": ("defense", "none"),
+}
+
+
+def _guard_default(spec, guard_field: str, fallback: object) -> object:
+    """The spec type's own default for ``guard_field`` (fallback otherwise)."""
+    dataclass_fields = getattr(type(spec), "__dataclass_fields__", None)
+    if dataclass_fields and guard_field in dataclass_fields:
+        default = dataclass_fields[guard_field].default
+        if default is not MISSING:
+            return default
+    return fallback
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The typed result of one system run.
+
+    Attributes
+    ----------
+    system:
+        Name of the registered system that produced the run.
+    history:
+        The per-round :class:`~repro.fl.history.TrainingHistory`.
+    extras:
+        System-specific side products (e.g. a chain height) for callers that
+        want more than the history; empty for the built-ins.
+    """
+
+    system: str
+    history: "TrainingHistory"
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+
+class System:
+    """Base class / protocol for a registered system.
+
+    A system is any object with a unique ``name``, a ``capabilities``
+    declaration, and a ``build(spec, dataset)`` method returning an object
+    whose ``run()`` yields a :class:`RunResult`.  Subclassing this base is
+    the convenient way to get there; duck-typed objects satisfying the same
+    protocol register fine too.
+
+    ``build_config(spec)`` is the validation hook: it must construct (and
+    thereby validate) the authoritative configuration for ``spec``, raising
+    ``ValueError`` on a bad one.  ``ScenarioSpec.validate`` calls it, which
+    is what keeps scenario validation in lockstep with the system's own
+    config class instead of duplicating rules.
+    """
+
+    name: str = ""
+    description: str = ""
+    capabilities: SystemCapabilities = SystemCapabilities()
+
+    def build_config(self, spec) -> object:
+        """Build the authoritative config for ``spec`` (``None`` if configless)."""
+        return None
+
+    def validate(self, spec) -> None:
+        """Reject specs this system cannot run (default: build the config)."""
+        self.build_config(spec)
+
+    def build(self, spec, dataset):
+        """Return a run object (``.run() -> RunResult``) for ``spec``.
+
+        ``dataset`` is the memoised federated dataset, or ``None`` when
+        ``capabilities.needs_dataset`` is False.
+        """
+        raise NotImplementedError(f"system {self.name!r} does not implement build()")
+
+
+@dataclass
+class TrainerRun:
+    """Adapts a trainer/simulator (``.run() -> TrainingHistory``) to a system run.
+
+    Closes the trainer (releasing executor worker pools) even when the run
+    raises, then wraps the history in a :class:`RunResult`.
+    """
+
+    system: str
+    trainer: object
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+    def run(self) -> RunResult:
+        try:
+            history = self.trainer.run()
+        finally:
+            close = getattr(self.trainer, "close", None)
+            if callable(close):
+                close()
+        return RunResult(system=self.system, history=history, extras=dict(self.extras))
+
+
+# ---------------------------------------------------------------------------
+# The registry proper.
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, System] = {}
+
+#: Read-only live view of the registry, in registration order.
+SYSTEMS: Mapping[str, System] = MappingProxyType(_REGISTRY)
+
+_BUILTINS_LOADED = False
+_BUILTINS_LOADING = False
+
+
+def _ensure_builtin_systems() -> None:
+    """Import the built-in system definitions exactly once (lazily).
+
+    The scenario/engine layers import this module directly; pulling the
+    built-ins in here (rather than eagerly at module import) avoids a cycle
+    with the trainer modules they wrap.  The loaded flag is only set on
+    *success* so a failed import surfaces again on the next call instead of
+    leaving an inexplicably empty registry; the loading flag guards against
+    re-entry while the builtin module itself registers its systems.
+    """
+    global _BUILTINS_LOADED, _BUILTINS_LOADING
+    if _BUILTINS_LOADED or _BUILTINS_LOADING:
+        return
+    _BUILTINS_LOADING = True
+    try:
+        import repro.systems.builtin  # noqa: F401  (registers on import)
+    finally:
+        _BUILTINS_LOADING = False
+    _BUILTINS_LOADED = True
+
+
+def register_system(system: System, *, replace: bool = False) -> System:
+    """Register ``system`` under ``system.name`` and return it.
+
+    Raises :class:`DuplicateSystemError` when the name is taken (pass
+    ``replace=True`` to swap the registration — this also makes re-importing
+    a plugin module harmless) and :class:`SystemRegistryError` when the
+    object does not satisfy the :class:`System` protocol.
+    """
+    name = getattr(system, "name", None)
+    if not isinstance(name, str) or not name:
+        raise SystemRegistryError(
+            f"cannot register {system!r}: a system must have a non-empty string "
+            "'name' attribute (see repro.systems.System)"
+        )
+    if not callable(getattr(system, "build", None)):
+        raise SystemRegistryError(
+            f"cannot register system {name!r}: it must define build(spec, dataset) "
+            "returning an object whose run() yields a RunResult"
+        )
+    capabilities = getattr(system, "capabilities", None)
+    if not isinstance(capabilities, SystemCapabilities):
+        raise SystemRegistryError(
+            f"cannot register system {name!r}: 'capabilities' must be a "
+            "repro.systems.SystemCapabilities instance, got "
+            f"{type(capabilities).__name__}"
+        )
+    _ensure_builtin_systems()
+    existing = _REGISTRY.get(name)
+    if existing is not None and not replace:
+        raise DuplicateSystemError(
+            f"a system named {name!r} is already registered "
+            f"({type(existing).__name__}); pass replace=True to replace it, or "
+            f"call unregister_system({name!r}) first"
+        )
+    _REGISTRY[name] = system
+    return system
+
+
+def unregister_system(name: str) -> System:
+    """Remove and return the system registered under ``name``."""
+    _ensure_builtin_systems()
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise UnknownSystemError(
+            f"cannot unregister unknown system {name!r}; registered systems: "
+            + (", ".join(_REGISTRY) or "(none)")
+        ) from None
+
+
+def get_system(name: str) -> System:
+    """Resolve a system name, with an actionable error for unknown names."""
+    _ensure_builtin_systems()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSystemError(
+            f"unknown system {name!r}; registered systems: "
+            + (", ".join(_REGISTRY) or "(none)")
+            + ". Register new systems with repro.systems.register_system() or "
+            "load a plugin module (repro.api.load_plugins / CLI --plugins)."
+        ) from None
+
+
+def system_names() -> tuple[str, ...]:
+    """All registered system names, in registration order."""
+    _ensure_builtin_systems()
+    return tuple(_REGISTRY)
+
+
+def systems_supporting(axis: str) -> tuple[str, ...]:
+    """Names of the registered systems whose capabilities enable ``axis``."""
+    if axis not in _AXIS_FIELDS:
+        raise SystemRegistryError(
+            f"unknown capability axis {axis!r}; expected one of: "
+            + ", ".join(_AXIS_FIELDS)
+        )
+    _ensure_builtin_systems()
+    return tuple(n for n, s in _REGISTRY.items() if getattr(s.capabilities, axis))
+
+
+def check_spec_axes(system: System, spec) -> None:
+    """Reject a spec that engages an axis ``system`` does not support.
+
+    Only non-default *engagements* fail: ``round_mode="sync"``,
+    ``attacks=False`` and ``defense="none"`` are always accepted, so sharing
+    one flag set across systems (the CLI's ``compare``) keeps working.
+    """
+    capabilities = system.capabilities
+    for axis, (guard_field, fallback) in _AXIS_GUARDS.items():
+        if getattr(capabilities, axis):
+            continue
+        default = _guard_default(spec, guard_field, fallback)
+        value = getattr(spec, guard_field, default)
+        if value != default:
+            supported = systems_supporting(axis)
+            raise SystemRegistryError(
+                f"system {system.name!r} does not support {guard_field}="
+                f"{value!r} (no {axis.replace('_', '-')} capability); systems "
+                "supporting it: " + (", ".join(supported) or "(none)")
+            )
+
+
+def filter_unsupported_axes(system: System | str, mapping: Mapping[str, object]) -> dict:
+    """Drop the axis fields ``system`` does not support from ``mapping``.
+
+    Used where one set of scenario fields is fanned out across several
+    systems (``repro.api.compare``, sweep-wide CLI overrides): each system
+    receives only the axes it can honour, and its defaults cover the rest.
+    """
+    system = get_system(system) if isinstance(system, str) else system
+    out = dict(mapping)
+    for axis, axis_fields in _AXIS_FIELDS.items():
+        if getattr(system.capabilities, axis):
+            continue
+        for field_name in axis_fields:
+            out.pop(field_name, None)
+    return out

@@ -14,7 +14,10 @@ Fails (exit code 1) when the documentation has drifted from the code:
    and ``docs/threat_model.md``) — the axis lists are imported from the
    code (``ROUND_MODES``, ``ATTACKS``, ``DEFENSES``), so adding a value
    without documenting it fails this check;
-6. a CLI flag accepted by ``repro.cli`` (any subcommand) does not appear in
+6. a *registered system* name (``repro.systems.system_names()``) is missing
+   from ``docs/scenarios.md`` or the public-API reference ``docs/api.md`` —
+   registering a system without documenting it fails this check;
+7. a CLI flag accepted by ``repro.cli`` (any subcommand) does not appear in
    the ``docs/cli_help.txt`` snapshot.
 
 Run from the repository root:
@@ -130,6 +133,31 @@ def check_axis_coverage() -> list[str]:
     return problems
 
 
+def check_system_coverage() -> list[str]:
+    """Every registered system name must appear in the scenario and API docs.
+
+    The name list comes from the registry, so a new built-in system cannot
+    land without a mention in both ``docs/scenarios.md`` and ``docs/api.md``
+    (plugins loaded at run time are intentionally out of scope — only what
+    ships registered is checked).
+    """
+    _ensure_importable()
+    from repro.systems import system_names
+
+    required_docs = ("docs/scenarios.md", "docs/api.md")
+    problems = []
+    for rel in required_docs:
+        path = REPO_ROOT / rel
+        if not path.exists():
+            problems.append(f"{rel}: system-reference document is missing")
+            continue
+        text = path.read_text(encoding="utf-8")
+        for name in system_names():
+            if not re.search(rf"\b{re.escape(name)}\b", text):
+                problems.append(f"{rel} does not document registered system {name!r}")
+    return problems
+
+
 def check_cli_flag_coverage() -> list[str]:
     """Every CLI flag (all subcommands) must appear in the docs/cli_help.txt snapshot."""
     _ensure_importable()
@@ -168,6 +196,7 @@ def main() -> int:
         + check_scenario_reference()
         + check_example_scenarios()
         + check_axis_coverage()
+        + check_system_coverage()
         + check_cli_flag_coverage()
     )
     for problem in problems:
