@@ -139,6 +139,7 @@ def test_round_modes(benchmark):
         },
         measurements=measurements,
         notes=["assertion: mean delay async < semi_sync < sync"],
+        specs=[_spec(mode) for mode in ROUND_MODES],
     )
 
     sync_d = results["sync"]["history"].average_delay()

@@ -159,6 +159,7 @@ def test_attack_defense_matrix(benchmark):
         },
         measurements=measurements,
         notes=["assertion: matched defense final accuracy strictly exceeds 'none'"],
+        specs=[_spec(a, d) for a in ATTACKS for d in DEFENSES],
     )
 
     def final(attack, defense):

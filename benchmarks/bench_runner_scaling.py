@@ -119,6 +119,7 @@ def test_runner_scaling(benchmark):
         },
         measurements=measurements,
         notes=["histories are asserted bit-identical across backends"],
+        specs=[_scaling_spec(n, backend) for n in CLIENT_COUNTS for backend in BACKENDS],
     )
 
     # Determinism: every backend produced the exact same history at every scale.

@@ -14,7 +14,6 @@ EXPERIMENTS.md).  The qualitative conclusions -- orderings, crossovers, trends
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import sys
@@ -29,6 +28,8 @@ if str(_SRC) not in sys.path:
 from repro.core.experiment import ExperimentSuite  # noqa: E402
 from repro.core.results import ComparisonResult  # noqa: E402
 from repro.fl.client import LocalTrainingConfig  # noqa: E402
+from repro.store.keys import spec_key  # noqa: E402
+from repro.store.records import write_json_record  # noqa: E402
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -57,29 +58,41 @@ def emit(table: ComparisonResult, filename: str) -> None:
     (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
 
 
-def emit_json(name: str, *, config: dict, measurements: list[dict], notes: list[str] | None = None) -> Path:
+def emit_json(
+    name: str,
+    *,
+    config: dict,
+    measurements: list[dict],
+    notes: list[str] | None = None,
+    specs=(),
+) -> Path:
     """Persist a machine-readable benchmark record as ``benchmarks/results/BENCH_<name>.json``.
 
-    The schema is deliberately small and stable so the perf trajectory can be
-    diffed across PRs: ``config`` captures the workload knobs, each entry of
-    ``measurements`` pairs a label with its wall-clock seconds and (where
-    meaningful) the simulated per-round delay.  Environment facts that affect
-    wall-clock (python version, CPU count visible to the process) ride along.
+    The record is written through the run store's versioned serialiser
+    (:func:`repro.store.records.write_json_record`), so every ``BENCH_*.json``
+    carries the shared ``schema_version`` stamp: ``config`` captures the
+    workload knobs, each entry of ``measurements`` pairs a label with its
+    wall-clock seconds and (where meaningful) the simulated per-round delay,
+    and environment facts that affect wall-clock (python version, CPU count
+    visible to the process) ride along.  Pass the bench's ``ScenarioSpec``
+    objects as ``specs`` to record their content addresses
+    (:func:`repro.store.keys.spec_key`) under ``spec_keys`` — the hash that
+    links a benchmark row to the run store's cached cell for the same
+    scenario.
     """
-    RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "benchmark": name,
         "config": config,
         "measurements": measurements,
         "notes": list(notes or []),
+        "spec_keys": {spec.name: spec_key(spec) for spec in specs},
         "environment": {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpus": visible_cpus(),
         },
     }
-    path = RESULTS_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    path = write_json_record(RESULTS_DIR / f"BENCH_{name}.json", payload, kind="benchmark")
     print(f"\nmachine-readable record written to {path}")
     return path
 

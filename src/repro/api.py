@@ -13,7 +13,15 @@ layer and the system registry, and adds five verbs:
 * :func:`load_scenario` — parse a JSON/TOML file or mapping into validated
   :class:`~repro.runner.scenario.ScenarioSpec` objects;
 * :func:`list_systems` — the registered system names (CLI choices, sweep
-  axes, and docs derive from the same list).
+  axes, and docs derive from the same list);
+* :func:`report` — tabulate a content-addressed :class:`RunStore` into the
+  paper-style summary table without re-running anything.
+
+``run``/``sweep``/``compare`` accept an opt-in ``cache`` argument:
+``cache="store"`` persists every run under its content key in the default
+``results/store/`` and reuses existing records (``repro sweep --resume`` is
+this path); a directory path or a :class:`RunStore` selects another store.
+See ``docs/results.md`` for the key semantics.
 
 ``__all__`` is the compatibility contract: a snapshot test pins it, so
 anything listed here stays importable and call-compatible across releases.
@@ -52,6 +60,9 @@ from repro.runner.scenario import (
     load_scenario_file,
     scenarios_from_mapping,
 )
+from repro.store.keys import spec_key
+from repro.store.report import report_table
+from repro.store.runstore import RunStore, StoredRun
 from repro.systems import (
     RunResult,
     System,
@@ -68,10 +79,12 @@ __all__ = [  # pinned by tests/test_systems_api.py::test_public_api_snapshot
     "ComparisonResult",
     "ExperimentEngine",
     "RunResult",
+    "RunStore",
     "ScenarioError",
     "ScenarioMatrix",
     "ScenarioResult",
     "ScenarioSpec",
+    "StoredRun",
     "System",
     "SystemCapabilities",
     "TrainingHistory",
@@ -81,10 +94,44 @@ __all__ = [  # pinned by tests/test_systems_api.py::test_public_api_snapshot
     "load_plugins",
     "load_scenario",
     "register_system",
+    "report",
     "run",
+    "spec_key",
     "sweep",
     "unregister_system",
 ]
+
+
+def _resolve_store(cache) -> RunStore | None:
+    """Normalise the public ``cache`` argument into a :class:`RunStore` (or None).
+
+    ``None`` disables caching, the literal ``"store"`` selects the default
+    ``results/store/`` root, a path selects another root, and a
+    :class:`RunStore` instance is used as-is.
+    """
+    if cache is None:
+        return None
+    if isinstance(cache, RunStore):
+        return cache
+    if cache == "store":
+        return RunStore()
+    if isinstance(cache, (str, Path)):
+        return RunStore(cache)
+    raise ScenarioError(
+        'cache must be None, "store", a store directory path, or a RunStore; '
+        f"got {type(cache).__name__}"
+    )
+
+
+def _engine_for(engine: ExperimentEngine | None, cache) -> ExperimentEngine:
+    """The engine a facade verb should run through, honouring ``cache``."""
+    if engine is not None:
+        if cache is not None:
+            raise ScenarioError(
+                "pass either engine= (configure its store directly) or cache=, not both"
+            )
+        return engine
+    return ExperimentEngine(store=_resolve_store(cache))
 
 
 def list_systems() -> tuple[str, ...]:
@@ -123,21 +170,26 @@ def _as_spec(target, fields: dict) -> ScenarioSpec:
     )
 
 
-def run(target=None, *, engine: ExperimentEngine | None = None, **fields) -> TrainingHistory:
+def run(
+    target=None, *, engine: ExperimentEngine | None = None, cache=None, **fields
+) -> TrainingHistory:
     """Run one scenario and return its history.
 
     ``target`` may be a validated :class:`ScenarioSpec`, a plain field
     mapping, a registered system name (``fields`` then override the scenario
     defaults), or ``None`` (``fields`` describe the whole scenario).  Pass an
-    :class:`ExperimentEngine` to share dataset memoisation across calls.
+    :class:`ExperimentEngine` to share dataset memoisation across calls, or
+    ``cache="store"`` (a path / :class:`RunStore` also works) to persist the
+    run under its content key and reuse an existing record.
     """
     spec = _as_spec(target, fields)
-    return (engine or ExperimentEngine()).run(spec)
+    return _engine_for(engine, cache).run(spec)
 
 
 def sweep(
     *sources,
     engine: ExperimentEngine | None = None,
+    cache=None,
     overrides: Mapping[str, object] | None = None,
     title: str | None = None,
 ) -> tuple[ComparisonResult, list[ScenarioResult]]:
@@ -147,7 +199,10 @@ def sweep(
     :class:`ScenarioSpec`, or an iterable of specs.  ``overrides`` apply to
     every expanded scenario, with capability-gated axis fields (round modes,
     attacks, defenses) dropped for systems that do not support them.
-    Datasets are memoised across the whole sweep by one shared engine.
+    Datasets are memoised across the whole sweep by one shared engine, and
+    ``cache="store"`` makes the sweep resumable: grid points whose records
+    already exist in the store load from disk, only the missing cells
+    compute (``repro sweep --resume`` is exactly this).
     """
     specs: list[ScenarioSpec] = []
     for source in sources:
@@ -173,13 +228,14 @@ def sweep(
         specs = applied
     if title is None:
         title = f"Scenario sweep ({len(specs)} scenario{'s' if len(specs) != 1 else ''})"
-    return (engine or ExperimentEngine()).sweep_table(specs, title=title)
+    return _engine_for(engine, cache).sweep_table(specs, title=title)
 
 
 def compare(
     systems: Iterable[str] | None = None,
     *,
     engine: ExperimentEngine | None = None,
+    cache=None,
     per_system: Mapping[str, Mapping[str, object]] | None = None,
     title: str = "System comparison (same workload, same seed)",
     **fields,
@@ -191,7 +247,8 @@ def compare(
     e.g. ``round_mode="async"`` reaches only the systems that support round
     modes — and ``per_system`` adds system-specific overrides on top (the
     CLI uses it for FedProx's straggler drop).  Datasets are memoised across
-    the comparison.
+    the comparison; ``cache="store"`` additionally persists/reuses each
+    system's run by content key.
     """
     names = tuple(systems) if systems is not None else system_names()
     per_system = per_system or {}
@@ -203,7 +260,7 @@ def compare(
         mapping.setdefault("name", name)
         mapping["system"] = name
         specs.append(ScenarioSpec.from_mapping(mapping))
-    shared_engine = engine or ExperimentEngine()
+    shared_engine = _engine_for(engine, cache)
     table = ComparisonResult(
         title=title,
         columns=["system", "avg_delay_s", "avg_accuracy", "final_accuracy"],
@@ -220,3 +277,23 @@ def compare(
             summary["final_accuracy"],
         )
     return table, results
+
+
+def report(
+    store: "RunStore | str | Path | None" = None,
+    *,
+    systems: Iterable[str] | None = None,
+    title: str | None = None,
+) -> ComparisonResult:
+    """Tabulate the runs persisted in a content-addressed store.
+
+    ``store`` is a :class:`RunStore`, a store directory path, or ``None``
+    for the default ``results/store/``.  ``systems`` restricts the rows to
+    those system names.  The returned :class:`ComparisonResult` renders as
+    text (``to_text()``), Markdown (:func:`repro.store.report.to_markdown`),
+    or CSV (:func:`repro.core.io.save_comparison_csv`) — the same pipeline
+    the ``repro report`` CLI subcommand drives.
+    """
+    if not isinstance(store, RunStore):
+        store = RunStore() if store is None else RunStore(store)
+    return report_table(store, systems=tuple(systems) if systems is not None else None, title=title)

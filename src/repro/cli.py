@@ -11,13 +11,23 @@ Run the reproduced systems without writing any Python:
    python -m repro.cli run fairbfl --attacks --attack-name scaling --defense krum
    python -m repro.cli compare --clients 12 --rounds 8 --export results.csv
    python -m repro.cli sweep --scenario scenarios/example_sweep.toml
+   python -m repro.cli sweep --scenario scenarios/example_sweep.toml --resume
+   python -m repro.cli report --markdown summary.md
    python -m repro.cli --plugins examples/custom_system.py run fedavg-momentum
 
 ``run`` executes one system and prints its per-round series and summary;
 ``compare`` runs every registered system on the same workload and prints the
 Figure-4-style comparison; ``sweep`` expands a JSON/TOML scenario file
 (single scenario, explicit list, or cartesian matrix — see
-``docs/scenarios.md``) and runs every grid point.
+``docs/scenarios.md``) and runs every grid point; ``report`` summarises the
+runs persisted in the content-addressed store without re-running anything.
+
+``sweep`` persists every completed grid point to the run store
+(``results/store/`` by default, ``--store`` to relocate) as it goes, so a
+killed sweep loses nothing: re-running with ``--resume`` loads the finished
+cells from disk and computes only the missing ones, bit-identically to an
+uncached run.  ``--no-cache`` opts out of the store entirely.  Key
+semantics, layout, and a walkthrough live in ``docs/results.md``.
 
 The system choices are **derived from the system registry**
 (:mod:`repro.systems`): ``--plugins`` (repeatable, also the
@@ -52,6 +62,7 @@ from repro.fl.robust import DEFENSES
 from repro.runner.executor import EXECUTOR_BACKENDS
 from repro.runner.scenario import ScenarioError
 from repro.sim.rounds import ROUND_MODES
+from repro.store import DEFAULT_STORE_ROOT, save_markdown
 from repro.systems import SystemRegistryError, load_plugins, system_names
 
 __all__ = ["build_parser", "main"]
@@ -192,6 +203,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the robust-aggregation defense of every defense-capable scenario in the sweep",
     )
+    sweep_p.add_argument(
+        "--store",
+        default=str(DEFAULT_STORE_ROOT),
+        metavar="DIR",
+        help="content-addressed run store the sweep persists to (docs/results.md)",
+    )
+    cache_group = sweep_p.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--resume",
+        action="store_true",
+        help="load grid points already in the run store and compute only the "
+        "missing ones (bit-identical to an uncached sweep)",
+    )
+    cache_group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the run store; recompute everything",
+    )
+
+    report_p = sub.add_parser(
+        "report", help="summarise the runs persisted in the content-addressed store"
+    )
+    report_p.add_argument(
+        "--store",
+        default=str(DEFAULT_STORE_ROOT),
+        metavar="DIR",
+        help="run store directory to summarise (default: results/store)",
+    )
+    report_p.add_argument(
+        "--system",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict the report to this system; repeatable",
+    )
+    report_p.add_argument(
+        "--export", default=None, help="write the summary table to this CSV file"
+    )
+    report_p.add_argument(
+        "--markdown", default=None, help="write the summary as a Markdown table to this file"
+    )
     return parser
 
 
@@ -316,6 +368,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"comparison written to {path}")
         return 0
 
+    if args.command == "report":
+        store = api.RunStore(args.store)
+        table = api.report(store, systems=args.system)
+        if not table.rows:
+            wanted = f" for system(s) {', '.join(args.system)}" if args.system else ""
+            print(f"error: no stored runs{wanted} under {args.store}", file=sys.stderr)
+            return 1
+        print(table.to_text())
+        if args.export:
+            path = save_comparison_csv(table, args.export)
+            print(f"report written to {path}")
+        if args.markdown:
+            path = save_markdown(table, args.markdown)
+            print(f"markdown report written to {path}")
+        return 0
+
     # sweep
     # Apply only the flags the user actually passed; a scenario file's own
     # backend/max_workers settings are otherwise preserved, and axis overrides
@@ -329,6 +397,11 @@ def main(argv: list[str] | None = None) -> int:
         overrides["round_mode"] = args.round_mode
     if args.defense is not None:
         overrides["defense"] = args.defense
+    # The store is write-through by default (every completed grid point is
+    # persisted as the sweep goes, so a killed sweep loses nothing); --resume
+    # additionally *reads* it, and --no-cache disables it entirely.
+    if not args.no_cache:
+        engine = api.ExperimentEngine(store=api.RunStore(args.store), reuse_cached=args.resume)
     try:
         table, _results = api.sweep(
             *args.scenario, engine=engine, overrides=overrides or None
@@ -337,6 +410,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(table.to_text())
+    if engine.store is not None:
+        hint = "" if args.resume else " (re-run with --resume to reuse them)"
+        print(
+            f"run store {args.store}: {engine.cache_hits} loaded, "
+            f"{engine.runs_computed} computed{hint}"
+        )
     if args.export:
         path = save_comparison_csv(table, args.export)
         print(f"sweep summary written to {path}")

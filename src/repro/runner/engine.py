@@ -15,11 +15,20 @@ The heavy lifting of a round stays in the trainers (e.g.
 for scenario lists and :meth:`ExperimentEngine.sweep_table` for the
 Figure-style summary tables the benchmarks print.  Prefer the stable facade
 :mod:`repro.api` (``run``/``sweep``/``compare``) for new call sites.
+
+Attach a content-addressed :class:`~repro.store.runstore.RunStore` to make
+runs persistent: every computed result is written under its spec's content
+key, and (with ``reuse_cached=True``, the default) a scenario whose record
+already exists is loaded instead of recomputed — the mechanism behind
+``repro sweep --resume`` and the opt-in ``cache="store"`` of
+:mod:`repro.api`.  The ``runs_computed`` / ``cache_hits`` counters make the
+split observable (and testable).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.experiment import build_federated_dataset
 from repro.core.results import ComparisonResult, summarize_history
@@ -27,6 +36,9 @@ from repro.datasets.federated import FederatedDataset
 from repro.fl.history import TrainingHistory
 from repro.runner.scenario import ScenarioSpec
 from repro.systems.registry import RunResult, get_system
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.store.runstore import RunStore
 
 __all__ = ["ScenarioResult", "ExperimentEngine", "run_scenario"]
 
@@ -56,9 +68,28 @@ class ExperimentEngine:
         noise, seed), matching the benchmark suite's behaviour.  Systems
         whose registered capabilities set ``needs_dataset=False`` (the
         vanilla blockchain) never trigger a dataset build at all.
+    store:
+        Optional content-addressed :class:`~repro.store.runstore.RunStore`.
+        When set, every computed run is persisted under its spec's content
+        key; with ``reuse_cached`` also True, a spec whose record already
+        exists is loaded from disk instead of recomputed.
+    reuse_cached:
+        Whether the store is consulted before computing (True, the resume
+        path) or written through only (False — persist everything but
+        recompute regardless, the CLI's default sweep behaviour).
+    runs_computed:
+        Number of scenarios this engine actually executed (cache misses
+        included); together with ``cache_hits`` this makes resume behaviour
+        assertable.
+    cache_hits:
+        Number of scenarios served from the store without computation.
     """
 
     cache_datasets: bool = True
+    store: "RunStore | None" = None
+    reuse_cached: bool = True
+    runs_computed: int = 0
+    cache_hits: int = 0
     _dataset_cache: dict[tuple, FederatedDataset] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
@@ -84,12 +115,25 @@ class ExperimentEngine:
 
     # ------------------------------------------------------------------
     def run_result(self, spec: ScenarioSpec) -> RunResult:
-        """Execute one scenario and return the system's typed :class:`RunResult`."""
+        """Execute one scenario and return the system's typed :class:`RunResult`.
+
+        With a :attr:`store` attached, the result is served from disk when a
+        record for the spec's content key exists (and ``reuse_cached`` is
+        True), and persisted after computation otherwise.
+        """
         spec.validate()
+        if self.store is not None and self.reuse_cached:
+            cached = self.store.get(spec)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
         system = get_system(spec.system)
         dataset = self.dataset_for(spec) if system.capabilities.needs_dataset else None
         result = system.build(spec, dataset).run()
         result.history.label = spec.name
+        self.runs_computed += 1
+        if self.store is not None:
+            self.store.put(spec, result)
         return result
 
     def run(self, spec: ScenarioSpec) -> TrainingHistory:

@@ -174,6 +174,27 @@ class ScenarioSpec:
             out[f.name] = value
         return out
 
+    def canonical_mapping(self) -> dict:
+        """The *complete* field mapping in canonical form, for content hashing.
+
+        Unlike :meth:`to_mapping` (a round-trippable document that drops
+        ``None`` values), this mapping lists **every** field — so adding a
+        field to :class:`ScenarioSpec` changes the canonical form, and any
+        run cached under the old form is correctly invalidated — with values
+        normalised through the same coercion the file loader applies
+        (``participation=1`` and ``participation=1.0`` hash identically) and
+        tuples rendered as lists.  :func:`repro.store.keys.spec_key` hashes
+        this mapping (minus the presentation-only ``name``) into the run
+        store's content address.
+        """
+        out: dict[str, object] = {}
+        for f in fields(self):
+            value = _coerce(f.name, getattr(self, f.name), f.type)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
     def with_overrides(self, **overrides) -> "ScenarioSpec":
         """A copy of this spec with ``overrides`` applied (and re-validated)."""
         spec = replace(self, **overrides)

@@ -1,0 +1,173 @@
+"""Typed, versioned JSON records — the one serialiser for persisted results.
+
+Everything the repository writes as a machine-readable result goes through
+this module: the run store's per-run records (:mod:`repro.store.runstore`)
+and the benchmark harness's ``BENCH_*.json`` trajectory files
+(``benchmarks/conftest.py``) share :func:`write_json_record`, so every
+artifact carries the same ``schema_version`` stamp and the same
+JSON-sanitisation rules instead of each writer hand-rolling its own.
+
+The history payload keeps **every** :class:`~repro.fl.history.RoundRecord`
+field — including the free-form ``extras`` diagnostics the lighter CSV/JSON
+exporters of :mod:`repro.core.io` drop — because a cached run must stand in
+for a recomputed one.  New ``RoundRecord`` fields ride along automatically:
+the payload is built by iterating the dataclass fields, not a hand-kept
+list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.results import summarize_history
+from repro.fl.history import RoundRecord, TrainingHistory
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "json_sanitize",
+    "write_json_record",
+    "history_to_payload",
+    "history_from_payload",
+    "run_record_payload",
+]
+
+#: Version stamped into every persisted record.  Readers treat a record with
+#: a different version as stale (``RunStore.get`` misses, ``gc`` collects).
+STORE_SCHEMA_VERSION = 1
+
+
+def json_sanitize(value: object) -> object:
+    """Recursively convert ``value`` into plain JSON-serialisable types.
+
+    NumPy scalars/arrays become Python scalars/lists, dataclasses and
+    mappings become string-keyed dicts, tuples/sets become lists, and any
+    other object falls back to ``str(value)`` — so free-form ``extras``
+    (delay breakdowns, trace digests, ...) always persist rather than
+    crashing the writer.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [json_sanitize(v) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: json_sanitize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): json_sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_sanitize(v) for v in value]
+    return str(value)
+
+
+def write_json_record(path: str | Path, payload: Mapping[str, object], *, kind: str) -> Path:
+    """Write ``payload`` as a versioned JSON record and return the path.
+
+    The record gains ``schema_version`` (:data:`STORE_SCHEMA_VERSION`) and
+    ``record_kind`` (``"run"`` for store entries, ``"benchmark"`` for
+    ``BENCH_*.json``), is sanitised through :func:`json_sanitize`, and is
+    written atomically (temp file + rename) so a killed sweep never leaves a
+    half-written record for ``--resume`` to trip over.
+    """
+    path = Path(path)
+    record: dict[str, object] = {
+        "schema_version": STORE_SCHEMA_VERSION,
+        "record_kind": kind,
+    }
+    record.update(json_sanitize(dict(payload)))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def history_to_payload(history: TrainingHistory) -> dict:
+    """The full JSON payload of a history (all round fields, extras included)."""
+    return {
+        "label": history.label,
+        "rounds": [
+            {
+                f.name: json_sanitize(getattr(record, f.name))
+                for f in dataclasses.fields(record)
+            }
+            for record in history.rounds
+        ],
+    }
+
+
+#: Per-field decoders restoring the types ``json_sanitize`` flattened.
+#: Fields of :class:`RoundRecord` without an entry here (e.g. ones added
+#: after this schema shipped) are passed through as their persisted JSON
+#: value, so writer and reader stay symmetric without a hand-kept list.
+_ROUND_DECODERS = {
+    "round_index": int,
+    "delay": float,
+    "accuracy": float,
+    "train_loss": float,
+    "elapsed_time": float,
+    "participants": lambda v: [int(x) for x in v],
+    "discarded": lambda v: [int(x) for x in v],
+    "attackers": lambda v: [int(x) for x in v],
+    "rewards": lambda v: {int(k): float(x) for k, x in v.items()},
+    "extras": dict,
+}
+
+
+def history_from_payload(payload: Mapping[str, object]) -> TrainingHistory:
+    """Rebuild a :class:`TrainingHistory` written by :func:`history_to_payload`.
+
+    Scalar fields regain their numeric types and reward keys their int form;
+    ``extras`` stay as the plain JSON values they were persisted as (their
+    producers' rich objects were flattened by :func:`json_sanitize`).  Like
+    the writer, the reader iterates the :class:`RoundRecord` dataclass
+    fields, so a field added later is persisted *and* reloaded (as its JSON
+    form) instead of being silently dropped on read.
+    """
+    history = TrainingHistory(label=str(payload.get("label", "run")))
+    record_fields = dataclasses.fields(RoundRecord)
+    for row in payload.get("rounds", []):
+        kwargs = {}
+        for f in record_fields:
+            if f.name not in row:
+                continue
+            decode = _ROUND_DECODERS.get(f.name)
+            kwargs[f.name] = decode(row[f.name]) if decode is not None else row[f.name]
+        history.append(RoundRecord(**kwargs))
+    return history
+
+
+def run_record_payload(spec, result, *, key: str, fingerprint: str) -> dict:
+    """The persisted form of one executed scenario.
+
+    ``spec`` round-trips through :meth:`ScenarioSpec.to_mapping` (so a stored
+    record can be re-validated and re-keyed later), the history keeps every
+    round field, and the one-line summary is precomputed so ``repro report``
+    can tabulate a store without replaying histories.
+    """
+    return {
+        "key": key,
+        "system_fingerprint": fingerprint,
+        "system": result.system,
+        "spec": spec.to_mapping(),
+        "summary": summarize_history(result.history),
+        "history": history_to_payload(result.history),
+        "extras": json_sanitize(dict(result.extras)),
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }

@@ -1,0 +1,100 @@
+"""Reporting over stored runs: the paper-style tables without re-running.
+
+``repro report`` (and :func:`repro.api.report`) tabulate a
+:class:`~repro.store.runstore.RunStore` into the same summary columns the
+figure benchmarks print — scenario, system, rounds, average delay, average
+and final accuracy — plus the short content key that ties each row back to
+its record file.  The table renders as aligned text (the CLI default), as a
+GitHub-flavoured Markdown table (:func:`to_markdown`), or as CSV through the
+existing :func:`repro.core.io.save_comparison_csv`, replacing the ad-hoc
+reading of ``benchmarks/results`` text files.  ``docs/results.md`` walks
+through the sweep → store → report pipeline end to end.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.results import ComparisonResult
+from repro.store.runstore import RunStore, StoredRun
+
+__all__ = ["REPORT_COLUMNS", "report_table", "to_markdown", "save_markdown"]
+
+#: Columns of the stored-run summary table, in order.
+REPORT_COLUMNS = (
+    "scenario",
+    "system",
+    "rounds",
+    "avg_delay_s",
+    "avg_accuracy",
+    "final_accuracy",
+    "key",
+)
+
+
+def report_table(
+    runs: "RunStore | Iterable[StoredRun]",
+    *,
+    systems: Sequence[str] | None = None,
+    title: str | None = None,
+) -> ComparisonResult:
+    """Summarise stored runs as a :class:`ComparisonResult`.
+
+    ``runs`` is a :class:`RunStore` (all loadable records) or an iterable of
+    :class:`StoredRun`; ``systems`` optionally restricts to those system
+    names.  Rows are sorted by (system, scenario name) and each carries the
+    first 12 hex digits of its content key, enough to locate the record file
+    under the store root.
+    """
+    entries = list(runs.runs()) if isinstance(runs, RunStore) else list(runs)
+    if systems is not None:
+        wanted = set(systems)
+        entries = [run for run in entries if run.result.system in wanted]
+    if title is None:
+        title = f"Stored runs ({len(entries)} record{'s' if len(entries) != 1 else ''})"
+    table = ComparisonResult(title=title, columns=list(REPORT_COLUMNS))
+    for run in entries:
+        summary = run.summary
+        table.add_row(
+            run.spec.name,
+            run.result.system,
+            summary["rounds"],
+            summary["average_delay"],
+            summary["average_accuracy"],
+            summary["final_accuracy"],
+            run.key[:12],
+        )
+    return table
+
+
+def to_markdown(table: ComparisonResult) -> str:
+    """Render a :class:`ComparisonResult` as a GitHub-flavoured Markdown table.
+
+    Pipes inside cell values are escaped — bench-style scenario names such
+    as ``matrix[sign_flip|krum]`` must not split their cell.
+    """
+
+    def fmt(value: object) -> str:
+        if isinstance(value, (float, np.floating)):
+            return f"{float(value):.4f}"
+        return str(value).replace("|", "\\|")
+
+    lines = [f"# {table.title}", ""]
+    lines.append("| " + " | ".join(table.columns) + " |")
+    lines.append("| " + " | ".join("---" for _ in table.columns) + " |")
+    for row in table.rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    if table.notes:
+        lines.append("")
+        lines.extend(f"- {note}" for note in table.notes)
+    return "\n".join(lines) + "\n"
+
+
+def save_markdown(table: ComparisonResult, path: str | Path) -> Path:
+    """Write the Markdown rendering of ``table`` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(to_markdown(table), encoding="utf-8")
+    return path

@@ -24,6 +24,7 @@ from repro.systems.registry import (
     SystemRegistryError,
     TrainerRun,
     UnknownSystemError,
+    capability_fingerprint,
     check_spec_axes,
     filter_unsupported_axes,
     get_system,
@@ -44,6 +45,7 @@ __all__ = [
     "SystemRegistryError",
     "TrainerRun",
     "UnknownSystemError",
+    "capability_fingerprint",
     "check_spec_axes",
     "filter_unsupported_axes",
     "get_system",

@@ -25,7 +25,9 @@ without touching core code.
 
 from __future__ import annotations
 
-from dataclasses import MISSING, dataclass, field
+import hashlib
+import json
+from dataclasses import MISSING, dataclass, field, fields
 from types import MappingProxyType
 from typing import TYPE_CHECKING, Mapping
 
@@ -48,6 +50,7 @@ __all__ = [
     "systems_supporting",
     "check_spec_axes",
     "filter_unsupported_axes",
+    "capability_fingerprint",
 ]
 
 
@@ -308,6 +311,32 @@ def systems_supporting(axis: str) -> tuple[str, ...]:
         )
     _ensure_builtin_systems()
     return tuple(n for n, s in _REGISTRY.items() if getattr(s.capabilities, axis))
+
+
+def capability_fingerprint(system: System | str) -> str:
+    """Stable hash of a registered system's code-relevant identity.
+
+    The fingerprint covers the system's name, the implementing class
+    (``module.QualName``), and every :class:`SystemCapabilities` field, so it
+    is reproducible across processes yet changes whenever a system is
+    re-registered with a different implementation or capability set — a
+    plugin that swaps ``fedavg`` for a variant with defenses disabled gets a
+    different fingerprint even though the name is unchanged.  The run store
+    (:mod:`repro.store`) folds this fingerprint into every content address,
+    which is what invalidates cached runs when the system behind a scenario's
+    ``system`` field is no longer the one that produced them.
+    """
+    system = get_system(system) if isinstance(system, str) else system
+    capabilities = system.capabilities
+    payload = {
+        "system": system.name,
+        "type": f"{type(system).__module__}.{type(system).__qualname__}",
+        "capabilities": {
+            f.name: getattr(capabilities, f.name) for f in fields(capabilities)
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def check_spec_axes(system: System, spec) -> None:

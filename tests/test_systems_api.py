@@ -56,10 +56,12 @@ PINNED_API = [
     "ComparisonResult",
     "ExperimentEngine",
     "RunResult",
+    "RunStore",
     "ScenarioError",
     "ScenarioMatrix",
     "ScenarioResult",
     "ScenarioSpec",
+    "StoredRun",
     "System",
     "SystemCapabilities",
     "TrainingHistory",
@@ -69,7 +71,9 @@ PINNED_API = [
     "load_plugins",
     "load_scenario",
     "register_system",
+    "report",
     "run",
+    "spec_key",
     "sweep",
     "unregister_system",
 ]

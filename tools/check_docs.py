@@ -18,7 +18,14 @@ Fails (exit code 1) when the documentation has drifted from the code:
    from ``docs/scenarios.md`` or the public-API reference ``docs/api.md`` —
    registering a system without documenting it fails this check;
 7. a CLI flag accepted by ``repro.cli`` (any subcommand) does not appear in
-   the ``docs/cli_help.txt`` snapshot.
+   the ``docs/cli_help.txt`` snapshot;
+8. a benchmark file ``benchmarks/bench_*.py`` is missing from the benchmark
+   catalogue ``docs/benchmarks.md`` (or the catalogue names a bench that no
+   longer exists) — every bench must document which paper figure/table it
+   reproduces;
+9. a name in ``repro.api.__all__`` is missing from ``docs/api.md`` or lacks
+   a docstring — the stable facade must stay fully referenced and
+   self-describing.
 
 Run from the repository root:
 
@@ -189,6 +196,53 @@ def check_cli_flag_coverage() -> list[str]:
     return problems
 
 
+def check_benchmark_docs() -> list[str]:
+    """docs/benchmarks.md must catalogue every bench file (and only real ones).
+
+    The catalogue is the authoritative map from bench file to the paper
+    figure/table it reproduces (plus runtime class and smoke-marker status),
+    so a bench cannot land undocumented and a deleted bench cannot linger in
+    the docs.
+    """
+    problems = []
+    doc_path = REPO_ROOT / "docs" / "benchmarks.md"
+    if not doc_path.exists():
+        return ["docs/benchmarks.md: benchmark catalogue is missing"]
+    doc = doc_path.read_text(encoding="utf-8")
+    referenced = set(re.findall(r"\b(bench_\w+\.py)\b", doc))
+    existing = {p.name for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")}
+    for name in sorted(existing - referenced):
+        problems.append(f"docs/benchmarks.md does not document benchmarks/{name}")
+    for name in sorted(referenced - existing):
+        problems.append(f"docs/benchmarks.md references nonexistent benchmark file {name}")
+    return problems
+
+
+def check_api_reference() -> list[str]:
+    """Every ``repro.api.__all__`` name must be in docs/api.md and documented.
+
+    Two failures per name are possible: the public-API reference does not
+    mention it, or the object itself lacks a docstring (the facade is the
+    surface downstream users introspect, so ``help()`` must never come up
+    empty).
+    """
+    _ensure_importable()
+    from repro import api
+
+    problems = []
+    doc_path = REPO_ROOT / "docs" / "api.md"
+    if not doc_path.exists():
+        return ["docs/api.md: public-API reference is missing"]
+    doc = doc_path.read_text(encoding="utf-8")
+    for name in api.__all__:
+        if not re.search(rf"\b{re.escape(name)}\b", doc):
+            problems.append(f"docs/api.md does not document repro.api.{name}")
+        obj = getattr(api, name)
+        if not (getattr(obj, "__doc__", None) or "").strip():
+            problems.append(f"repro.api.{name} has no docstring")
+    return problems
+
+
 def main() -> int:
     problems = (
         check_module_docstrings()
@@ -198,6 +252,8 @@ def main() -> int:
         + check_axis_coverage()
         + check_system_coverage()
         + check_cli_flag_coverage()
+        + check_benchmark_docs()
+        + check_api_reference()
     )
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
