@@ -8,6 +8,8 @@ rule is the only defence).
 
 from __future__ import annotations
 
+import pytest
+
 from benchmarks.conftest import emit
 from repro.core.results import ComparisonResult
 
@@ -53,3 +55,13 @@ def test_ablation_aggregation_rule(benchmark, bench_suite):
     # Attacks hurt both un-defended configurations relative to clean runs.
     assert results["fair_agg/attacked"][1] <= results["fair_agg/clean"][1] + 0.02
     assert results["simple_avg/attacked"][1] <= results["simple_avg/clean"][1] + 0.02
+
+
+@pytest.mark.smoke
+def test_ablation_aggregation_smoke(smoke_suite):
+    """Fast structural pass: both aggregation rules run at toy scale."""
+    fair = smoke_suite.run("fairbfl", name="fair_agg/smoke", use_fair_aggregation=True)
+    simple = smoke_suite.run("fairbfl", name="simple_avg/smoke", use_fair_aggregation=False)
+    assert len(fair) == len(simple) == smoke_suite.num_rounds
+    assert 0.0 <= fair.final_accuracy() <= 1.0
+    assert 0.0 <= simple.final_accuracy() <= 1.0

@@ -10,6 +10,7 @@ measuring (a) blocks mined per round and (b) the resulting ledger delay.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import emit
 from repro.core.results import ComparisonResult
@@ -72,3 +73,20 @@ def test_ablation_block_scope(benchmark):
     # The scoped design's ledger delay is flat in n and cheaper at scale.
     assert np.ptp(scoped_delay) < 0.5 * scoped_delay.mean() + 1.0
     assert vanilla_delay[-1] > scoped_delay[-1]
+
+
+@pytest.mark.smoke
+def test_ablation_block_scope_smoke():
+    """Fast structural pass: one vanilla point vs the scoped single-block cost."""
+    params = DelayParameters(transactions_per_block=100)
+    sim = VanillaBlockchainSimulator(
+        VanillaBlockchainConfig(
+            num_workers=120, num_miners=2, num_rounds=2, delay_params=params, seed=0
+        )
+    )
+    hist = sim.run()
+    blocks = float(np.mean([r.extras["blocks_mined"] for r in hist.rounds]))
+    # 120 per-gradient transactions overflow a 100-transaction block.
+    assert blocks > 1.0
+    model = DelayModel(params, new_rng(1, "scoped-smoke"))
+    assert float(np.mean([model.mining_delay(2) for _ in range(20)])) > 0.0

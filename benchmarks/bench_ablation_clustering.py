@@ -9,6 +9,7 @@ positives (honest clients wrongly discarded).
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import emit
 from repro.core.config import FairBFLConfig
@@ -68,3 +69,24 @@ def test_ablation_clustering_algorithm(benchmark):
     # False positives stay bounded (the detector does not discard everyone).
     assert results["dbscan"][1] <= 5.0
     assert results["kmeans"][1] <= 6.0
+
+
+@pytest.mark.smoke
+def test_ablation_clustering_smoke():
+    """Fast structural pass: the DBSCAN detector runs end-to-end at toy scale."""
+    dataset = build_federated_dataset(
+        num_clients=6, num_samples=400, scheme="dirichlet", seed=1, noise_std=0.35
+    )
+    config = FairBFLConfig(
+        num_rounds=2,
+        participation_fraction=1.0,
+        local=LocalTrainingConfig(epochs=1, batch_size=10, learning_rate=0.05),
+        model_name="logreg",
+        strategy="discard",
+        enable_attacks=True,
+        contribution=ContributionConfig(algorithm="dbscan", eps=0.7),
+        seed=1,
+    )
+    trainer, _ = run_fairbfl(dataset, config=config)
+    assert len(trainer.detection_logs()) == 2
+    assert 0.0 <= trainer.average_detection_rate() <= 1.0

@@ -24,6 +24,8 @@ from __future__ import annotations
 import dataclasses
 import time
 
+import pytest
+
 from benchmarks.conftest import emit, emit_json
 from repro.core.experiment import run_fairbfl
 from repro.core.results import ComparisonResult
@@ -155,3 +157,16 @@ def test_round_modes(benchmark):
     # The relaxed modes actually exercised their mechanisms.
     assert results["semi_sync"]["stragglers"] > 0
     assert results["async"]["stale_applied"] > 0
+
+
+@pytest.mark.smoke
+def test_round_modes_smoke():
+    """Fast structural pass: every round mode runs under the default calibration."""
+    engine = ExperimentEngine()
+    for mode in ROUND_MODES:
+        spec = _spec(mode).with_overrides(
+            name=f"modes-smoke[{mode}]", num_clients=8, num_samples=480, num_rounds=2
+        )
+        history = engine.run(spec)
+        assert len(history) == 2
+        assert all(r.delay > 0 for r in history.rounds)

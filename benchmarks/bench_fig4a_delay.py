@@ -9,6 +9,7 @@ block per round.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import emit
 from repro.core.results import ComparisonResult
@@ -47,3 +48,11 @@ def test_fig4a_delay_comparison(benchmark, bench_suite):
     # The paper's qualitative conclusion: FAIR sits between FedAvg and Blockchain.
     assert fedavg.average_delay() < fair.average_delay() < chain.average_delay()
     assert np.all(fair.delays > 0)
+
+
+@pytest.mark.smoke
+def test_fig4a_delay_smoke(smoke_suite):
+    """Fast structural pass: FedAvg stays cheaper than the vanilla chain."""
+    fedavg = smoke_suite.run("fedavg")
+    chain = smoke_suite.run("blockchain", num_clients=20)
+    assert 0.0 < fedavg.average_delay() < chain.average_delay()

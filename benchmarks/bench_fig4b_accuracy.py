@@ -8,6 +8,7 @@ FedProx converges to a lower accuracy and keeps fluctuating after convergence
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import emit
 from repro.core.convergence import ConvergenceCriterion
@@ -49,3 +50,13 @@ def test_fig4b_accuracy_vs_time(benchmark, bench_suite):
     # Convergence criterion is reachable within the configured horizon or accuracy is still rising.
     criterion = ConvergenceCriterion()
     assert criterion.has_converged(fair.accuracies) or fair.accuracies[-1] >= fair.accuracies[0]
+
+
+@pytest.mark.smoke
+def test_fig4b_accuracy_smoke(smoke_suite):
+    """Fast structural pass: the accuracy-vs-time series is well-formed."""
+    fair = smoke_suite.run("fairbfl")
+    times, accs = fair.accuracy_vs_time()
+    assert len(times) == len(accs) == smoke_suite.num_rounds
+    assert np.all(np.diff(fair.elapsed_times) > 0)
+    assert all(0.0 <= a <= 1.0 for a in accs)

@@ -9,6 +9,7 @@ of local steps).
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import emit
 from repro.core.results import ComparisonResult
@@ -45,3 +46,12 @@ def test_fig5a_learning_rate_delay(benchmark, bench_suite):
     assert np.ptp(fedavg_delays) < 0.5 * fedavg_delays.mean()
     # And FAIR remains the costlier of the two at every learning rate.
     assert np.all(fair_delays > fedavg_delays)
+
+
+@pytest.mark.smoke
+def test_fig5a_lr_delay_smoke(smoke_suite):
+    """Fast structural pass: the delay is flat across one pair of learning rates."""
+    lo = smoke_suite.run("fedavg", learning_rate=LEARNING_RATES[0])
+    hi = smoke_suite.run("fedavg", learning_rate=LEARNING_RATES[-1])
+    assert lo.average_delay() > 0 and hi.average_delay() > 0
+    assert abs(lo.average_delay() - hi.average_delay()) < 0.5 * lo.average_delay() + 1.0

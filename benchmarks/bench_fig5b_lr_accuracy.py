@@ -8,6 +8,7 @@ comparatively insensitive to η (the proximal term damps the local steps).
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import emit
 from repro.core.results import ComparisonResult
@@ -51,3 +52,11 @@ def test_fig5b_learning_rate_accuracy(benchmark, bench_suite):
     assert np.ptp(fedprox_acc) <= max(2.0 * np.ptp(fair_acc), 0.15)
     # Every configuration still learns.
     assert fair_acc.min() > 0.4
+
+
+@pytest.mark.smoke
+def test_fig5b_lr_accuracy_smoke(smoke_suite):
+    """Fast structural pass: the lr axis yields valid accuracies per system."""
+    for system, kwargs in (("fairbfl", {}), ("fedprox", {"proximal_mu": 0.1})):
+        hist = smoke_suite.run(system, learning_rate=LEARNING_RATES[1], **kwargs)
+        assert 0.0 <= hist.average_accuracy() <= 1.0

@@ -10,6 +10,7 @@ each FAIR-BFL block carries only the round's single global gradient
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import emit
 from repro.core.experiment import ExperimentSuite
@@ -61,3 +62,19 @@ def test_fig6a_delay_vs_workers(benchmark):
     assert (fair[-1] - fair[0]) < 0.5 * (chain[-1] - chain[0])
     # At large scale the vanilla blockchain is the slowest system.
     assert chain[-1] > fair[-1]
+
+
+@pytest.mark.smoke
+def test_fig6a_workers_smoke():
+    """Fast structural pass: one population point of the worker sweep."""
+    suite = ExperimentSuite(
+        num_clients=12,
+        num_samples=600,
+        num_rounds=2,
+        participation_fraction=0.25,
+        model_name="logreg",
+        local=LocalTrainingConfig(epochs=1, batch_size=10, learning_rate=0.05),
+        seed=0,
+    )
+    assert suite.run("fairbfl").average_delay() > 0
+    assert suite.run("blockchain").average_delay() > 0

@@ -10,6 +10,7 @@ broadcast/exchange overhead.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import emit
 from repro.core.results import ComparisonResult
@@ -48,3 +49,12 @@ def test_fig6b_delay_vs_miners(benchmark, bench_suite):
     assert (fair[-1] - fair[0]) < 0.35 * (chain[-1] - chain[0])
     # FAIR is cheaper than the vanilla chain at every miner count.
     assert np.all(fair < chain)
+
+
+@pytest.mark.smoke
+def test_fig6b_miners_smoke(smoke_suite):
+    """Fast structural pass: the miner axis is wired through both systems."""
+    fair = smoke_suite.run("fairbfl", miners=3)
+    chain = smoke_suite.run("blockchain", num_clients=20, miners=3)
+    assert fair.average_delay() > 0
+    assert chain.average_delay() > 0

@@ -8,6 +8,8 @@ FedAvg, while the vanilla blockchain remains the slowest.
 
 from __future__ import annotations
 
+import pytest
+
 from benchmarks.conftest import emit
 from repro.core.results import ComparisonResult
 
@@ -53,3 +55,11 @@ def test_fig7a_discard_delay(benchmark, quality_suite):
     assert chain.average_delay() > fair.average_delay()
     # The discard strategy did actually discard someone.
     assert sum(discarded_per_round) > 0
+
+
+@pytest.mark.smoke
+def test_fig7a_discard_delay_smoke(smoke_quality_suite):
+    """Fast structural pass: the discard run completes with well-formed rounds."""
+    fair_discard = smoke_quality_suite.run("fairbfl", strategy="discard", dbscan_eps=0.6)
+    assert fair_discard.average_delay() > 0
+    assert all(isinstance(r.discarded, list) for r in fair_discard.rounds)

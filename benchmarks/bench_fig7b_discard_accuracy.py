@@ -8,6 +8,8 @@ lower.
 
 from __future__ import annotations
 
+import pytest
+
 from benchmarks.conftest import emit
 from repro.core.results import ComparisonResult
 
@@ -53,3 +55,12 @@ def test_fig7b_discard_accuracy(benchmark, quality_suite):
     assert fedprox.final_accuracy() <= max(
         fair_discard.final_accuracy(), fair.final_accuracy()
     ) + 0.02
+
+
+@pytest.mark.smoke
+def test_fig7b_discard_accuracy_smoke(smoke_quality_suite):
+    """Fast structural pass: discard and plain runs produce comparable series."""
+    fair = smoke_quality_suite.run("fairbfl")
+    fair_discard = smoke_quality_suite.run("fairbfl", strategy="discard", dbscan_eps=0.6)
+    assert len(fair_discard) == len(fair)
+    assert 0.0 <= fair_discard.final_accuracy() <= 1.0

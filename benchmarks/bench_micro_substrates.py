@@ -93,3 +93,16 @@ def test_micro_local_sgd_epoch(benchmark, tiny_federated=None):
 
     update = benchmark(client.local_update, global_params, config)
     assert update.parameters.shape == global_params.shape
+
+
+@pytest.mark.smoke
+def test_micro_substrates_smoke(gradient_set):
+    """Fast structural pass over the substrates, without benchmark timing."""
+    assert mine_block(Block.genesis(), difficulty=16.0, max_attempts=100_000).success
+    store = KeyStore(seed=0, key_bits=256)
+    store.register("client-0")
+    payload = np.ones(16).tobytes()
+    assert store.verify("client-0", payload, store.sign("client-0", payload))
+    assert DBSCAN(eps=0.5, min_samples=3, metric="cosine").fit(gradient_set).num_clusters >= 1
+    agg = fair_aggregate(gradient_set, np.linspace(0.1, 1.0, gradient_set.shape[0]))
+    assert agg.shape == (gradient_set.shape[1],)

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import time
 
+import pytest
+
 from benchmarks.conftest import emit, emit_json, visible_cpus
 from repro import api
 from repro.core.results import ComparisonResult
@@ -134,3 +136,14 @@ def test_runner_scaling(benchmark):
         assert ratio <= SPEEDUP_TARGET, (
             f"process backend too slow: {ratio:.2f}x serial at {CLIENT_COUNTS[-1]} clients"
         )
+
+
+@pytest.mark.smoke
+def test_runner_scaling_smoke():
+    """Fast structural pass: serial/thread parity at the smallest scale."""
+    engine = api.ExperimentEngine()
+    histories = {
+        backend: api.run(_scaling_spec(10, backend), engine=engine)
+        for backend in ("serial", "thread")
+    }
+    assert _fingerprint(histories["serial"]) == _fingerprint(histories["thread"])

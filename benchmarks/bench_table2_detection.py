@@ -9,6 +9,8 @@ IID > non-IID).
 
 from __future__ import annotations
 
+import pytest
+
 from benchmarks.conftest import emit
 from repro.core.config import FairBFLConfig
 from repro.core.experiment import build_federated_dataset, run_fairbfl
@@ -84,3 +86,28 @@ def test_table2_malicious_detection(benchmark):
     assert iid_rate >= 0.6
     # The paper's qualitative ordering: IID detection is at least as good as non-IID.
     assert iid_rate >= non_iid_rate - 0.05
+
+
+@pytest.mark.smoke
+def test_table2_detection_smoke():
+    """Fast structural pass: the detection protocol runs at toy scale."""
+    dataset = build_federated_dataset(
+        num_clients=6, num_samples=400, scheme="iid", seed=0, noise_std=0.35
+    )
+    config = FairBFLConfig(
+        num_rounds=2,
+        participation_fraction=1.0,
+        local=LocalTrainingConfig(epochs=1, batch_size=10, learning_rate=0.05),
+        model_name="logreg",
+        strategy="discard",
+        enable_attacks=True,
+        attack_name="sign_flip",
+        min_attackers=1,
+        max_attackers=2,
+        contribution=ContributionConfig(eps=0.7),
+        seed=0,
+    )
+    trainer, _ = run_fairbfl(dataset, config=config)
+    logs = trainer.detection_logs()
+    assert len(logs) == 2
+    assert all(1 <= len(log.attacker_ids) <= 2 for log in logs)

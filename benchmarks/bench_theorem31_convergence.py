@@ -10,6 +10,7 @@ optimality gap against the bound round by round.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import emit
 from repro.core.convergence import theorem31_bound, theorem31_constants
@@ -80,3 +81,10 @@ def test_theorem31_convergence_bound(benchmark):
     assert gaps[-1] < gaps[0]
     # The gap goes to (near) zero, i.e. the algorithm converges.
     assert gaps[-1] < 0.05 * gaps[0]
+
+
+@pytest.mark.smoke
+def test_theorem31_smoke():
+    """Fast structural pass: the bound holds over the early rounds."""
+    rows = _simulate()[:10]
+    assert all(gap <= bound + 1e-9 for _, gap, bound in rows)

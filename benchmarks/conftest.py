@@ -42,6 +42,52 @@ def pytest_configure(config) -> None:
     )
 
 
+def pytest_collect_file(file_path: Path, parent):
+    """Collect ``bench_*.py`` modules during directory collection.
+
+    Pytest's default ``python_files`` pattern only auto-collects
+    ``test_*.py``, so historically the benches only ran when named explicitly
+    on the command line.  This hook pulls them into directory-level collection
+    too — which is what lets the plain tier-1 run (``pytest -x -q``) and
+    ``pytest benchmarks -m smoke`` exercise every bench's smoke subset.
+    Explicitly named files are left to the built-in python plugin (it
+    collects init paths regardless of pattern); returning a second module for
+    them would duplicate every test.
+    """
+    if file_path.name.startswith("bench_") and file_path.suffix == ".py":
+        if parent.session.isinitpath(file_path):
+            return None
+        return pytest.Module.from_parent(parent, path=file_path)
+    return None
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    """Keep directory-level runs on the smoke tier.
+
+    Full bench tests (everything in a ``bench_*.py`` without the ``smoke``
+    marker) run only when their file is named explicitly on the command line
+    or ``REPRO_FULL_BENCH=1`` is set; otherwise they are skipped, so the
+    tier-1 suite gains the fast smoke coverage without inheriting the
+    multi-minute full benchmarks.
+    """
+    if os.environ.get("REPRO_FULL_BENCH"):
+        return
+    skip_full = pytest.mark.skip(
+        reason=(
+            "full bench: run its file explicitly "
+            "(pytest benchmarks/bench_<name>.py) or set REPRO_FULL_BENCH=1"
+        )
+    )
+    for item in items:
+        if not item.path.name.startswith("bench_"):
+            continue
+        if item.get_closest_marker("smoke") is not None:
+            continue
+        if item.session.isinitpath(item.path):
+            continue
+        item.add_marker(skip_full)
+
+
 def visible_cpus() -> int:
     """CPUs visible to this process (affinity-aware)."""
     try:
@@ -108,6 +154,37 @@ def bench_suite() -> ExperimentSuite:
         scheme="dirichlet",
         model_name="logreg",
         local=LocalTrainingConfig(epochs=2, batch_size=10, learning_rate=0.05),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_suite() -> ExperimentSuite:
+    """A minimal setup for the smoke tier: structural coverage in seconds."""
+    return ExperimentSuite(
+        num_clients=8,
+        num_samples=600,
+        num_rounds=2,
+        participation_fraction=0.5,
+        scheme="dirichlet",
+        model_name="logreg",
+        local=LocalTrainingConfig(epochs=1, batch_size=10, learning_rate=0.05),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_quality_suite() -> ExperimentSuite:
+    """Smoke-scale setup with low-quality clients for the discard benches."""
+    return ExperimentSuite(
+        num_clients=8,
+        num_samples=600,
+        num_rounds=3,
+        participation_fraction=0.5,
+        scheme="dirichlet",
+        low_quality_fraction=0.3,
+        model_name="logreg",
+        local=LocalTrainingConfig(epochs=1, batch_size=10, learning_rate=0.05),
         seed=0,
     )
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.config import FairBFLConfig
 from repro.core.fairbfl import FairBFLTrainer
-from repro.datasets.federated import FederatedDataset, inject_label_noise
+from repro.datasets.federated import ClientDataset, FederatedDataset, inject_label_noise
 from repro.datasets.synthetic_mnist import load_synthetic_mnist
 from repro.fl.client import LocalTrainingConfig
 from repro.fl.fedavg import FedAvgConfig, FedAvgTrainer
@@ -50,6 +50,7 @@ def build_federated_dataset(
     noise_std: float = 0.4,
     low_quality_fraction: float = 0.0,
     low_quality_noise: float = 0.6,
+    distinct_shards: int = 0,
 ) -> FederatedDataset:
     """Generate the synthetic-MNIST federated dataset used by all experiments.
 
@@ -59,24 +60,66 @@ def build_federated_dataset(
     ``low_quality_fraction > 0`` corrupts that fraction of clients with label
     noise, producing the low-quality contributors the discard strategy of
     Section 5.3 is designed to filter out.
+
+    ``distinct_shards`` caps the number of *distinct* client shards: when
+    ``0 < distinct_shards < num_clients`` only that many archetype shards are
+    synthesised (with any label noise applied to the archetypes) and the
+    population is filled by assigning them cyclically as array *views* — the
+    only way a 100k–1M-client population fits in memory.  ``0`` (the default)
+    keeps one distinct shard per client.
     """
+    if not (0 <= int(distinct_shards) <= int(num_clients)):
+        raise ValueError(
+            f"distinct_shards must lie in [0, num_clients={num_clients}], "
+            f"got {distinct_shards}"
+        )
+    shard_count = int(distinct_shards) or int(num_clients)
     dataset = load_synthetic_mnist(num_samples, seed=seed, noise_std=noise_std)
     fed = FederatedDataset.from_dataset(
         dataset,
-        num_clients,
-        new_rng(seed, "partition", scheme, num_clients),
+        shard_count,
+        new_rng(seed, "partition", scheme, shard_count),
         scheme=scheme,
         alpha=alpha,
         shards_per_client=shards_per_client,
     )
     if low_quality_fraction > 0.0:
+        # Noise goes onto the archetypes, *before* replication, so every
+        # replica of a low-quality shard is identically corrupted.
         inject_label_noise(
             fed,
-            new_rng(seed, "label-noise", scheme, num_clients),
+            new_rng(seed, "label-noise", scheme, shard_count),
             client_fraction=low_quality_fraction,
             noise_level=low_quality_noise,
         )
+    if shard_count < int(num_clients):
+        fed = _replicate_shards(fed, int(num_clients))
     return fed
+
+
+def _replicate_shards(fed: FederatedDataset, num_clients: int) -> FederatedDataset:
+    """Grow ``fed`` to ``num_clients`` clients by cyclic shard sharing.
+
+    Replica clients reference the archetype's arrays directly (no copies), so
+    the dataset's memory footprint stays that of the archetypes.
+    """
+    archetypes = fed.clients
+    clients = [
+        ClientDataset(
+            client_id=cid,
+            images=archetypes[cid % len(archetypes)].images,
+            labels=archetypes[cid % len(archetypes)].labels,
+            val_images=archetypes[cid % len(archetypes)].val_images,
+            val_labels=archetypes[cid % len(archetypes)].val_labels,
+        )
+        for cid in range(num_clients)
+    ]
+    return FederatedDataset(
+        clients=clients,
+        test_images=fed.test_images,
+        test_labels=fed.test_labels,
+        scheme=fed.scheme,
+    )
 
 
 def run_fairbfl(

@@ -1,0 +1,268 @@
+"""Cohort execution of Procedure I: whole-population local updates at once.
+
+:class:`CohortTrainer` replaces the per-client Python loop with the batched
+kernels of :mod:`repro.nn.cohort`.  Selected clients are grouped into
+*cohorts* of statistically identical shape (same model factory, same train
+and validation shard shapes) and each cohort trains as a handful of stacked
+``(clients, batch, features)`` matrix ops.
+
+Bit-exactness contract
+----------------------
+The produced :class:`~repro.fl.client.ClientUpdate` objects are byte-identical
+to what ``FLClient.local_update`` returns on the serial path:
+
+* the per-client RNG streams are preserved — each client's mini-batch
+  permutations are drawn from *its own* ``client.rng``, one per epoch, in
+  epoch order, exactly as ``BatchIterator`` would (streams are private per
+  client, so drawing them up front cannot change any value);
+* every numeric kernel matches the serial op (see :mod:`repro.nn.cohort`),
+  including the FedProx proximal term and weight decay;
+* bookkeeping side effects (``rounds_participated``) are applied to the
+  coordinator's client objects just like the other executor backends.
+
+Memory contract
+---------------
+Cohorts are chunked to at most ``max_cohort_size`` clients, so peak memory is
+``O(max_cohort_size · (params + shard))`` regardless of the population size.
+:meth:`CohortTrainer.iter_update_blocks` streams these chunks to the caller
+without ever materialising one ``ClientUpdate`` per client, which is what
+lets a 100k-client round fit in bounded memory (see
+``FedAvgTrainer._run_round_streaming``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate, FLClient, LocalTrainingConfig
+from repro.nn.cohort import (
+    CohortModel,
+    CohortUnsupportedError,
+    add_proximal_term,
+    batched_accuracy,
+    batched_softmax_cross_entropy,
+    batched_softmax_cross_entropy_grad,
+    sgd_step,
+)
+
+__all__ = ["CohortBlock", "CohortTrainer", "DEFAULT_MAX_COHORT_SIZE"]
+
+#: Default cohort chunk width: large enough that the stacked matmuls dominate
+#: the Python overhead, small enough that one chunk of MNIST-scale shards plus
+#: a (chunk, params) matrix stays well under a few hundred MB.
+DEFAULT_MAX_COHORT_SIZE = 512
+
+
+@dataclass
+class CohortBlock:
+    """One trained cohort chunk, streamed before any aggregation.
+
+    Attributes
+    ----------
+    client_ids:
+        The chunk's clients, in selection order within the chunk.
+    parameters:
+        Updated flat parameters, shape ``(len(client_ids), P)``; row ``i``
+        is byte-identical to the serial ``ClientUpdate.parameters`` of
+        ``client_ids[i]``.
+    num_samples:
+        Local training-shard size shared by the whole cohort (cohorts group
+        clients of identical shard shape).
+    train_losses / val_accuracies:
+        Per-client scalars matching the serial update fields exactly.
+    """
+
+    client_ids: list[int]
+    parameters: np.ndarray
+    num_samples: int
+    train_losses: list[float]
+    val_accuracies: list[float]
+
+
+class CohortTrainer:
+    """Runs Procedure I for many clients at once with stacked numpy kernels."""
+
+    def __init__(self, max_cohort_size: int = DEFAULT_MAX_COHORT_SIZE) -> None:
+        if int(max_cohort_size) <= 0:
+            raise ValueError(f"max_cohort_size must be positive, got {max_cohort_size}")
+        self.max_cohort_size = int(max_cohort_size)
+        self._models: dict[object, CohortModel] = {}
+
+    # -- model compilation ----------------------------------------------
+    def _compiled_model(self, client: FLClient, num_parameters: int) -> CohortModel:
+        factory = getattr(client, "_model_factory", None)
+        if factory is None:
+            raise CohortUnsupportedError(
+                f"client {type(client).__name__} exposes no model factory; "
+                "the cohort backend needs one to compile a batched model"
+            )
+        try:
+            key: object = factory
+            model = self._models.get(key)
+        except TypeError:  # unhashable custom factory
+            key = id(factory)
+            model = self._models.get(key)
+        if model is None:
+            model = CohortModel.from_module(factory())
+            self._models[key] = model
+        if model.num_parameters != int(num_parameters):
+            raise CohortUnsupportedError(
+                f"compiled cohort model has {model.num_parameters} parameters "
+                f"but the global vector has {num_parameters}"
+            )
+        return model
+
+    # -- grouping -------------------------------------------------------
+    @staticmethod
+    def _group_key(client: FLClient) -> tuple:
+        dataset = client.dataset
+        return (
+            getattr(client, "_model_factory", None),
+            np.asarray(dataset.images).shape,
+            np.asarray(dataset.val_images).shape,
+        )
+
+    def _cohort_chunks(
+        self, clients: Mapping[int, FLClient], selected: list[int]
+    ) -> Iterator[list[int]]:
+        """Group ``selected`` into same-shape cohorts, chunked for memory."""
+        groups: dict[tuple, list[int]] = {}
+        for cid in selected:
+            key = self._group_key(clients[int(cid)])
+            groups.setdefault(key, []).append(int(cid))
+        for members in groups.values():
+            for start in range(0, len(members), self.max_cohort_size):
+                yield members[start : start + self.max_cohort_size]
+
+    # -- training -------------------------------------------------------
+    def iter_update_blocks(
+        self,
+        clients: Mapping[int, FLClient],
+        selected: list[int],
+        global_parameters: np.ndarray,
+        config: LocalTrainingConfig,
+    ) -> Iterator[CohortBlock]:
+        """Train the selected clients cohort by cohort, yielding each block.
+
+        Peak memory is bounded by ``max_cohort_size`` regardless of
+        ``len(selected)``.
+        """
+        global_ref = np.asarray(global_parameters, dtype=np.float64)
+        for chunk in self._cohort_chunks(clients, selected):
+            yield self._train_chunk(clients, chunk, global_ref, config)
+
+    def run_local_updates(
+        self,
+        clients: Mapping[int, FLClient],
+        selected: list[int],
+        global_parameters: np.ndarray,
+        local_config: LocalTrainingConfig,
+    ) -> list[ClientUpdate]:
+        """Drop-in for ``ParallelExecutor.run_local_updates`` (selection order)."""
+        by_id: dict[int, ClientUpdate] = {}
+        for block in self.iter_update_blocks(clients, selected, global_parameters, local_config):
+            for i, cid in enumerate(block.client_ids):
+                by_id[cid] = ClientUpdate(
+                    client_id=cid,
+                    parameters=block.parameters[i].copy(),
+                    num_samples=block.num_samples,
+                    train_loss=block.train_losses[i],
+                    val_accuracy=block.val_accuracies[i],
+                )
+        return [by_id[int(cid)] for cid in selected]
+
+    def _train_chunk(
+        self,
+        clients: Mapping[int, FLClient],
+        chunk: list[int],
+        global_ref: np.ndarray,
+        config: LocalTrainingConfig,
+    ) -> CohortBlock:
+        cohort = [clients[cid] for cid in chunk]
+        model = self._compiled_model(cohort[0], global_ref.shape[0])
+        size = len(cohort)
+
+        images = np.stack([c.dataset.images for c in cohort])
+        labels = np.stack([c.dataset.labels for c in cohort])
+        num_samples = int(images.shape[1])
+
+        # Per-client mini-batch permutations: one draw per epoch from each
+        # client's private stream, in epoch order — the exact draws
+        # BatchIterator performs on the serial path.
+        orders = np.empty((size, config.epochs, num_samples), dtype=np.int64)
+        for i, client in enumerate(cohort):
+            for epoch in range(config.epochs):
+                orders[i, epoch] = client.rng.permutation(num_samples)
+
+        params = np.repeat(global_ref[None, :], size, axis=0)
+        grads = np.zeros_like(params)
+        rows = np.arange(size)[:, None]
+        losses: list[list[float]] = [[] for _ in range(size)]
+
+        for epoch in range(config.epochs):
+            for start in range(0, num_samples, config.batch_size):
+                sel = orders[:, epoch, start : start + config.batch_size]
+                x_batch = images[rows, sel]
+                y_batch = labels[rows, sel]
+                grads.fill(0.0)
+                logits = model.forward(params, x_batch)
+                step_losses, probs = batched_softmax_cross_entropy(logits, y_batch)
+                grad_logits = batched_softmax_cross_entropy_grad(probs, y_batch)
+                model.backward(params, grads, grad_logits)
+                if config.proximal_mu > 0.0:
+                    add_proximal_term(grads, params, global_ref, config.proximal_mu)
+                sgd_step(
+                    params,
+                    grads,
+                    learning_rate=config.learning_rate,
+                    weight_decay=config.weight_decay,
+                )
+                for i, value in enumerate(step_losses):
+                    losses[i].append(value)
+
+        for client in cohort:
+            client.rounds_participated += 1
+
+        val_images = np.stack([c.dataset.val_images for c in cohort])
+        val_labels = np.stack([c.dataset.val_labels for c in cohort])
+        val_logits = model.forward(params, val_images)
+        accuracies = batched_accuracy(val_logits, val_labels)
+        train_losses = [float(np.mean(client_losses)) for client_losses in losses]
+
+        return CohortBlock(
+            client_ids=list(chunk),
+            parameters=params,
+            num_samples=num_samples,
+            train_losses=train_losses,
+            val_accuracies=accuracies,
+        )
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate_population(
+        self,
+        clients: Mapping[int, FLClient],
+        selected: list[int],
+        parameters: np.ndarray,
+    ) -> list[float]:
+        """Batched ``client.evaluate(parameters)`` for every selected client.
+
+        Used by the streaming round path, where per-client scratch models
+        would defeat the bounded-memory goal.  Returns accuracies in
+        ``selected`` order, each bit-identical to the serial
+        ``FLClient.evaluate``.
+        """
+        global_ref = np.asarray(parameters, dtype=np.float64)
+        by_id: dict[int, float] = {}
+        for chunk in self._cohort_chunks(clients, selected):
+            cohort = [clients[cid] for cid in chunk]
+            model = self._compiled_model(cohort[0], global_ref.shape[0])
+            val_images = np.stack([c.dataset.val_images for c in cohort])
+            val_labels = np.stack([c.dataset.val_labels for c in cohort])
+            params = np.repeat(global_ref[None, :], len(cohort), axis=0)
+            logits = model.forward(params, val_images)
+            for cid, acc in zip(chunk, batched_accuracy(logits, val_labels)):
+                by_id[cid] = acc
+        return [by_id[int(cid)] for cid in selected]

@@ -74,6 +74,15 @@ class FedAvgTrainer:
 
     label = "fedavg"
 
+    #: Cohort-backend rounds with at least this many selected clients stream
+    #: per-cohort blocks into a running aggregate instead of materialising one
+    #: ``ClientUpdate`` per client (100k updates of a logreg model would be
+    #: ~6 GB).  Below the threshold the materialising path keeps the byte-exact
+    #: parity contract with the serial executor; the streaming fold adds float
+    #: additions in a different association order, so it is equivalent only to
+    #: ~1e-12 (and still fully deterministic).
+    STREAM_THRESHOLD = 4096
+
     def __init__(self, dataset: FederatedDataset, config: FedAvgConfig) -> None:
         self.dataset = dataset
         self.config = config
@@ -132,10 +141,25 @@ class FedAvgTrainer:
         """
         return self.server.aggregate(updates)
 
+    def _streaming_supported(self) -> bool:
+        """Whether this round can use the bounded-memory streaming fold.
+
+        Defenses and non-mean aggregation schemes need the full update matrix
+        at once; subclasses with update post-processing (FedProx straggler
+        drops) extend this check.
+        """
+        return self.server.defense is None and self.config.aggregation in ("simple", "samples")
+
     def run_round(self, round_index: int, clock: SimulatedClock) -> RoundRecord:
         """Execute one communication round and return its record."""
         selected = self.selector.select(len(self.clients), self._selection_rng)
         local_cfg = self._local_config()
+        if (
+            self.executor.backend == "cohort"
+            and len(selected) >= self.STREAM_THRESHOLD
+            and self._streaming_supported()
+        ):
+            return self._run_round_streaming(round_index, clock, selected, local_cfg)
         updates = self.executor.run_local_updates(
             self._clients_by_id,
             [int(cid) for cid in selected],
@@ -179,6 +203,65 @@ class FedAvgTrainer:
             elapsed_time=clock.now,
             participants=[int(c) for c in selected],
             extras={"delay_breakdown": breakdown.as_dict()},
+        )
+
+    def _run_round_streaming(
+        self,
+        round_index: int,
+        clock: SimulatedClock,
+        selected: np.ndarray,
+        local_cfg: LocalTrainingConfig,
+    ) -> RoundRecord:
+        """One round as a streaming fold over cohort blocks (bounded memory).
+
+        Equivalent to the materialising round up to float-summation order:
+        the weighted sum accumulates block by block instead of reducing one
+        ``(n, params)`` matrix, so a 100k-client round never holds more than
+        one cohort chunk of updates.  Per-client evaluation of the new global
+        model runs batched through the cohort engine for the same reason.
+        """
+        selected_ids = [int(cid) for cid in selected]
+        weighted_sum = np.zeros_like(self.server.global_parameters)
+        total_weight = 0.0
+        train_losses: list[float] = []
+        blocks = 0
+        for block in self.executor.iter_update_blocks(
+            self._clients_by_id, selected_ids, self.server.global_parameters, local_cfg
+        ):
+            if self.config.aggregation == "samples":
+                weights = np.full(len(block.client_ids), float(block.num_samples))
+            else:
+                weights = np.ones(len(block.client_ids))
+            weighted_sum += weights @ block.parameters
+            total_weight += float(weights.sum())
+            train_losses.extend(block.train_losses)
+            blocks += 1
+        new_global = self.server.commit_global(weighted_sum / total_weight)
+        accuracies = self.executor.evaluate_population(
+            self._clients_by_id, selected_ids, new_global
+        )
+        avg_acc = float(np.mean(accuracies))
+        train_loss = float(np.mean(train_losses))
+
+        sizes = [self.clients[cid].num_samples for cid in selected_ids]
+        batches_per_epoch = float(np.mean([np.ceil(s / local_cfg.batch_size) for s in sizes]))
+        breakdown = self.delay_model.fl_round(
+            num_participants=len(selected_ids),
+            batches_per_epoch=batches_per_epoch,
+            epochs=local_cfg.epochs,
+        )
+        clock.advance(breakdown.total)
+        return RoundRecord(
+            round_index=round_index,
+            delay=breakdown.total,
+            accuracy=avg_acc,
+            train_loss=train_loss,
+            elapsed_time=clock.now,
+            participants=selected_ids,
+            extras={
+                "delay_breakdown": breakdown.as_dict(),
+                "cohort_stream": {"blocks": blocks, "clients": len(selected_ids)},
+            },
         )
 
     def run(self, *, num_rounds: int | None = None) -> TrainingHistory:

@@ -88,6 +88,10 @@ class FedProxTrainer(FedAvgTrainer):
             weight_decay=base.weight_decay,
         )
 
+    def _streaming_supported(self) -> bool:
+        """Straggler dropping needs the materialised update list (and an RNG draw)."""
+        return super()._streaming_supported() and self.config.drop_percent <= 0.0
+
     def _post_process_updates(
         self, updates: list[ClientUpdate], rng: np.random.Generator
     ) -> list[ClientUpdate]:

@@ -108,6 +108,21 @@ class CentralServer:
         self.round_count += 1
         return new_global
 
+    def commit_global(self, new_global: np.ndarray) -> np.ndarray:
+        """Install an externally aggregated global parameter vector.
+
+        The streaming cohort round (see ``FedAvgTrainer._run_round_streaming``)
+        folds client updates into a weighted sum as they are produced instead
+        of handing the server a materialised update list; this is its hook to
+        publish the result while keeping the server's bookkeeping (model
+        weights, round counter) identical to :meth:`aggregate`.
+        """
+        new_global = np.asarray(new_global, dtype=np.float64)
+        self.global_parameters = new_global
+        set_flat_parameters(self.model, new_global)
+        self.round_count += 1
+        return new_global
+
     def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
         """Accuracy of the current global parameters on a held-out test set."""
         set_flat_parameters(self.model, self.global_parameters)

@@ -1,0 +1,354 @@
+"""Batched-across-clients ("cohort") forward/backward kernels.
+
+The serial training path of Procedure I runs one Python loop per client, and
+every mini-batch step inside it is a handful of small ``(batch, features)``
+matmuls.  This module provides the stacked counterparts: a whole cohort of
+clients is processed at once with ``(clients, batch, features)`` activations
+and a flat ``(clients, params)`` parameter matrix.
+
+Every kernel is chosen so that its floating-point results are *bit-identical*
+to the per-client code in :mod:`repro.nn.layers`, :mod:`repro.nn.losses` and
+:mod:`repro.nn.optim`:
+
+* ``np.matmul`` on a stacked operand performs the same dot-product reduction
+  per client slice as the 2-D ``x @ w`` of :class:`~repro.nn.layers.Linear`;
+* reductions (``max``, ``sum``, ``mean``, ``argmax``) are taken over the
+  last, contiguous axis, which NumPy reduces with the same pairwise
+  summation as the per-client axis-1 reductions;
+* everything else (bias add, activations, the SGD / weight-decay / FedProx
+  proximal update) is elementwise, where stacking cannot change the result.
+
+:meth:`CohortModel.from_module` compiles a template
+:class:`~repro.nn.module.Module` (the factory-built ``Flatten`` / ``Linear``
+/ activation stacks) into a sequence of batched ops plus the flat parameter
+layout used by :func:`repro.nn.parameters.get_flat_parameters`.  Models
+containing layers without a batched counterpart (e.g. an active ``Dropout``,
+whose per-client RNG draws cannot be stacked) raise
+:class:`CohortUnsupportedError` so callers can fall back to the serial path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Flatten, Linear, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.module import Module
+
+__all__ = [
+    "CohortUnsupportedError",
+    "CohortModel",
+    "batched_softmax_cross_entropy",
+    "batched_softmax_cross_entropy_grad",
+    "batched_accuracy",
+    "sgd_step",
+    "add_proximal_term",
+]
+
+
+class CohortUnsupportedError(TypeError):
+    """The model (or layer) has no bit-exact batched counterpart."""
+
+
+# ---------------------------------------------------------------------------
+# Batched layer ops.  Each mirrors the forward/backward of the corresponding
+# serial layer with the batch axes extended from (batch, ...) to
+# (clients, batch, ...).  Parameters live in a shared flat (clients, P)
+# matrix; gradient accumulation writes into the matching flat slice.
+# ---------------------------------------------------------------------------
+
+
+class _CohortOp:
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(
+        self, params: np.ndarray, grads: np.ndarray, grad_output: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _CohortFlatten(_CohortOp):
+    def __init__(self) -> None:
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward(self, params, grads, grad_output):
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward on cohort Flatten")
+        return grad_output.reshape(self._input_shape)
+
+
+class _CohortIdentity(_CohortOp):
+    """Stand-in for layers that are a no-op in this configuration (Dropout p=0)."""
+
+    def forward(self, params, x):
+        return x
+
+    def backward(self, params, grads, grad_output):
+        return grad_output
+
+
+class _CohortLinear(_CohortOp):
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        weight_slice: tuple[int, int],
+        bias_slice: tuple[int, int] | None,
+    ) -> None:
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight_slice = weight_slice
+        self.bias_slice = bias_slice
+        self._input_cache: np.ndarray | None = None
+
+    def _weights(self, params: np.ndarray) -> np.ndarray:
+        lo, hi = self.weight_slice
+        return params[:, lo:hi].reshape(-1, self.in_features, self.out_features)
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.in_features:
+            raise ValueError(
+                f"cohort Linear expected input of shape (clients, batch, "
+                f"{self.in_features}), got {x.shape}"
+            )
+        self._input_cache = x
+        out = np.matmul(x, self._weights(params))
+        if self.bias_slice is not None:
+            lo, hi = self.bias_slice
+            out = out + params[:, lo:hi][:, None, :]
+        return out
+
+    def backward(self, params, grads, grad_output):
+        if self._input_cache is None:
+            raise RuntimeError("backward called before forward on cohort Linear")
+        x = self._input_cache
+        lo, hi = self.weight_slice
+        grad_w = np.matmul(x.transpose(0, 2, 1), grad_output)
+        grads[:, lo:hi] += grad_w.reshape(grad_w.shape[0], -1)
+        if self.bias_slice is not None:
+            b_lo, b_hi = self.bias_slice
+            grads[:, b_lo:b_hi] += grad_output.sum(axis=1)
+        return np.matmul(grad_output, self._weights(params).transpose(0, 2, 1))
+
+
+class _CohortReLU(_CohortOp):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, params, x):
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, params, grads, grad_output):
+        if self._mask is None:
+            raise RuntimeError("backward called before forward on cohort ReLU")
+        return np.where(self._mask, grad_output, 0.0)
+
+
+class _CohortTanh(_CohortOp):
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, params, x):
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, params, grads, grad_output):
+        if self._output is None:
+            raise RuntimeError("backward called before forward on cohort Tanh")
+        return grad_output * (1.0 - self._output**2)
+
+
+class _CohortSigmoid(_CohortOp):
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, params, x):
+        # Numerically stable piecewise formulation (same as the serial layer).
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        exp_x = np.exp(x[~pos])
+        out[~pos] = exp_x / (1.0 + exp_x)
+        self._output = out
+        return out
+
+    def backward(self, params, grads, grad_output):
+        if self._output is None:
+            raise RuntimeError("backward called before forward on cohort Sigmoid")
+        s = self._output
+        return grad_output * s * (1.0 - s)
+
+
+class _CohortSoftmax(_CohortOp):
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, params, x):
+        shifted = x - x.max(axis=2, keepdims=True)
+        exp = np.exp(shifted)
+        self._output = exp / exp.sum(axis=2, keepdims=True)
+        return self._output
+
+    def backward(self, params, grads, grad_output):
+        if self._output is None:
+            raise RuntimeError("backward called before forward on cohort Softmax")
+        s = self._output
+        dot = np.sum(grad_output * s, axis=2, keepdims=True)
+        return s * (grad_output - dot)
+
+
+class CohortModel:
+    """A template model compiled into batched ops over a flat parameter matrix.
+
+    Instances are stateless apart from per-op forward caches, so one compiled
+    model can be reused across rounds and cohort chunks (but not across
+    threads).
+    """
+
+    def __init__(self, ops: list[_CohortOp], num_parameters: int) -> None:
+        self.ops = ops
+        self.num_parameters = int(num_parameters)
+
+    @classmethod
+    def from_module(cls, model: Module) -> "CohortModel":
+        """Compile ``model`` (a Flatten/Linear/activation stack) to batched ops.
+
+        The flat parameter layout follows ``model.parameters()`` order
+        (per ``Linear``: weight then bias), i.e. the exact layout of
+        :func:`~repro.nn.parameters.get_flat_parameters`.
+        """
+        layers = getattr(model, "layers", None)
+        if layers is None:
+            layers = [model]
+        ops: list[_CohortOp] = []
+        cursor = 0
+        for layer in layers:
+            if isinstance(layer, Linear):
+                weight_slice = (cursor, cursor + layer.in_features * layer.out_features)
+                cursor = weight_slice[1]
+                bias_slice = None
+                if layer.bias is not None:
+                    bias_slice = (cursor, cursor + layer.out_features)
+                    cursor = bias_slice[1]
+                ops.append(
+                    _CohortLinear(
+                        layer.in_features, layer.out_features, weight_slice, bias_slice
+                    )
+                )
+            elif isinstance(layer, Flatten):
+                ops.append(_CohortFlatten())
+            elif isinstance(layer, ReLU):
+                ops.append(_CohortReLU())
+            elif isinstance(layer, Tanh):
+                ops.append(_CohortTanh())
+            elif isinstance(layer, Sigmoid):
+                ops.append(_CohortSigmoid())
+            elif isinstance(layer, Softmax):
+                ops.append(_CohortSoftmax())
+            elif isinstance(layer, Dropout) and layer.rate == 0.0:
+                ops.append(_CohortIdentity())
+            else:
+                raise CohortUnsupportedError(
+                    f"layer {type(layer).__name__} has no bit-exact batched "
+                    "counterpart; use a serial/thread/process backend instead"
+                )
+        return cls(ops, cursor)
+
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Stacked forward pass: ``params`` is (clients, P), ``x`` (clients, batch, ...)."""
+        if params.ndim != 2 or params.shape[1] != self.num_parameters:
+            raise ValueError(
+                f"expected parameters of shape (clients, {self.num_parameters}), "
+                f"got {params.shape}"
+            )
+        out = np.asarray(x, dtype=np.float64)
+        for op in self.ops:
+            out = op.forward(params, out)
+        return out
+
+    def backward(
+        self, params: np.ndarray, grads: np.ndarray, grad_output: np.ndarray
+    ) -> np.ndarray:
+        """Stacked backward pass; accumulates into the flat ``grads`` matrix."""
+        g = np.asarray(grad_output, dtype=np.float64)
+        for op in reversed(self.ops):
+            g = op.backward(params, grads, g)
+        return g
+
+
+# ---------------------------------------------------------------------------
+# Batched loss / metric / optimiser kernels.
+# ---------------------------------------------------------------------------
+
+
+def batched_softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[list[float], np.ndarray]:
+    """Fused softmax + cross-entropy over a cohort.
+
+    ``logits`` is (clients, batch, classes), ``labels`` (clients, batch).
+    Returns the per-client mean losses (Python floats, matching the serial
+    ``float(-np.mean(...))`` exactly) and the softmax probabilities needed by
+    :func:`batched_softmax_cross_entropy_grad`.
+    """
+    if logits.ndim != 3:
+        raise ValueError(f"expected logits of shape (clients, batch, classes), got {logits.shape}")
+    if labels.shape != logits.shape[:2]:
+        raise ValueError(
+            f"expected labels of shape {logits.shape[:2]}, got {labels.shape}"
+        )
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= logits.shape[2]:
+        raise ValueError(
+            f"labels must lie in [0, {logits.shape[2]}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    shifted = logits - logits.max(axis=2, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=2, keepdims=True)
+    picked = np.take_along_axis(probs, labels[:, :, None], axis=2)[:, :, 0]
+    means = np.mean(np.log(np.clip(picked, 1e-12, None)), axis=1)
+    return [float(-m) for m in means], probs
+
+
+def batched_softmax_cross_entropy_grad(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of the per-client mean cross-entropy w.r.t. the logits."""
+    grad = probs.copy()
+    clients_idx = np.arange(grad.shape[0])[:, None]
+    batch_idx = np.arange(grad.shape[1])[None, :]
+    grad[clients_idx, batch_idx, labels] -= 1.0
+    return grad / labels.shape[1]
+
+
+def batched_accuracy(logits: np.ndarray, labels: np.ndarray) -> list[float]:
+    """Per-client accuracy of stacked (clients, batch, classes) logits."""
+    preds = np.argmax(logits, axis=2)
+    means = np.mean(preds == labels, axis=1)
+    return [float(m) for m in means]
+
+
+def sgd_step(
+    params: np.ndarray,
+    grads: np.ndarray,
+    *,
+    learning_rate: float,
+    weight_decay: float = 0.0,
+) -> None:
+    """In-place SGD step on the flat parameter matrix (mirrors ``SGD.step``)."""
+    if weight_decay > 0.0:
+        grads = grads + weight_decay * params
+    params -= learning_rate * grads
+
+
+def add_proximal_term(
+    grads: np.ndarray,
+    params: np.ndarray,
+    global_ref: np.ndarray,
+    proximal_mu: float,
+) -> None:
+    """Add the FedProx proximal gradient ``mu * (w - w_global)`` in place."""
+    grads += proximal_mu * (params - global_ref[None, :])

@@ -111,6 +111,7 @@ class ExperimentEngine:
             seed=spec.seed,
             noise_std=spec.noise_std,
             low_quality_fraction=spec.low_quality_fraction,
+            distinct_shards=spec.distinct_shards,
         )
 
     # ------------------------------------------------------------------

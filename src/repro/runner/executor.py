@@ -10,16 +10,23 @@ a pluggable backend:
   the GIL inside large kernels, so threads overlap the matrix work;
 * ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`; client
   objects (data shard, scratch model, RNG) are shipped to the workers once at
-  pool creation and only the per-round inputs travel per task.
+  pool creation and only the per-round inputs travel per task;
+* ``cohort`` — no fan-out at all: the selected clients are grouped into
+  same-shape cohorts and trained as stacked ``(clients, batch, features)``
+  matrix ops by :class:`~repro.fl.cohort.CohortTrainer`, which removes the
+  per-client Python loop entirely (the path that scales to 100k+ clients).
 
-Determinism is preserved across all three backends because every stochastic
+Determinism is preserved across all backends because every stochastic
 draw of a local update comes from the *owning client's* private RNG stream
 (see :mod:`repro.utils.rng`): streams never interleave, so the execution order
 of clients cannot change the numbers.  For the process backend the client RNG
 state is shipped with each task and the advanced state is restored onto the
 coordinator's client object afterwards, so a process-backed run consumes
 exactly the same stream positions as a serial one and histories stay
-bit-identical between backends.
+bit-identical between backends.  The cohort backend draws each client's
+permutations from the client's own stream and uses kernels chosen for
+bit-identical floating-point results (see :mod:`repro.nn.cohort`), so it
+joins the same bit-exactness contract.
 """
 
 from __future__ import annotations
@@ -31,11 +38,13 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 import numpy as np
 
 from repro.fl.client import ClientUpdate, FLClient, LocalTrainingConfig
+from repro.fl.cohort import CohortTrainer
 
 __all__ = ["EXECUTOR_BACKENDS", "ParallelExecutor", "resolve_worker_count"]
 
-#: The supported fan-out backends, in increasing order of isolation.
-EXECUTOR_BACKENDS = ("serial", "thread", "process")
+#: The supported fan-out backends, in increasing order of isolation; the
+#: vectorized ``cohort`` backend replaces fan-out with stacked matrix ops.
+EXECUTOR_BACKENDS = ("serial", "thread", "process", "cohort")
 
 
 def resolve_worker_count(max_workers: int | None) -> int:
@@ -102,6 +111,7 @@ class ParallelExecutor:
         self.max_workers = resolve_worker_count(max_workers)
         self._pool: Executor | None = None
         self._pool_clients_key: int | None = None
+        self._cohort: CohortTrainer | None = None
 
     # ------------------------------------------------------------------
     def run_local_updates(
@@ -124,7 +134,44 @@ class ParallelExecutor:
                 for cid in selected
             ]
             return [f.result() for f in futures]
+        if self.backend == "cohort":
+            return self._ensure_cohort().run_local_updates(
+                clients, selected, global_parameters, local_config
+            )
         return self._run_process(clients, selected, global_parameters, local_config)
+
+    def iter_update_blocks(
+        self,
+        clients: dict[int, FLClient],
+        selected: list[int],
+        global_parameters: np.ndarray,
+        local_config: LocalTrainingConfig,
+    ):
+        """Stream trained :class:`~repro.fl.cohort.CohortBlock` chunks (cohort only).
+
+        The streaming form never materialises one ``ClientUpdate`` per client,
+        which is what bounds memory for 100k+-client rounds.
+        """
+        if self.backend != "cohort":
+            raise ValueError(
+                f"iter_update_blocks requires the 'cohort' backend, got {self.backend!r}"
+            )
+        return self._ensure_cohort().iter_update_blocks(
+            clients, selected, global_parameters, local_config
+        )
+
+    def evaluate_population(
+        self,
+        clients: dict[int, FLClient],
+        selected: list[int],
+        parameters: np.ndarray,
+    ) -> list[float]:
+        """Batched per-client evaluation of shared ``parameters`` (cohort only)."""
+        if self.backend != "cohort":
+            raise ValueError(
+                f"evaluate_population requires the 'cohort' backend, got {self.backend!r}"
+            )
+        return self._ensure_cohort().evaluate_population(clients, selected, parameters)
 
     def _run_process(
         self,
@@ -155,6 +202,11 @@ class ParallelExecutor:
         return updates
 
     # -- pool management ------------------------------------------------
+    def _ensure_cohort(self) -> CohortTrainer:
+        if self._cohort is None:
+            self._cohort = CohortTrainer()
+        return self._cohort
+
     def _ensure_thread_pool(self) -> Executor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(

@@ -95,6 +95,10 @@ class ScenarioSpec:
     scheme: str = "dirichlet"
     noise_std: float = 0.4
     low_quality_fraction: float = 0.0
+    #: Number of *distinct* client shards to synthesise; the remaining clients
+    #: share them cyclically (array views, no copies), which is how 100k+-client
+    #: populations fit in memory.  0 means every client gets its own shard.
+    distinct_shards: int = 0
     # -- model / local training ----------------------------------------
     model_name: str = "logreg"
     hidden_sizes: tuple[int, ...] = (64,)
@@ -254,6 +258,11 @@ class ScenarioSpec:
                 )
         if self.max_workers is not None and int(self.max_workers) <= 0:
             raise ScenarioError(f"max_workers must be positive, got {self.max_workers}")
+        if not (0 <= int(self.distinct_shards) <= int(self.num_clients)):
+            raise ScenarioError(
+                f"distinct_shards must lie in [0, num_clients={self.num_clients}], "
+                f"got {self.distinct_shards}"
+            )
         if not (0.0 <= self.low_quality_fraction <= 1.0):
             raise ScenarioError(
                 f"low_quality_fraction must be in [0, 1], got {self.low_quality_fraction}"
@@ -366,6 +375,7 @@ class ScenarioSpec:
             self.scheme,
             self.noise_std,
             self.low_quality_fraction,
+            self.distinct_shards,
             self.seed,
         )
 

@@ -42,6 +42,15 @@ __all__ = [
 #: a different version as stale (``RunStore.get`` misses, ``gc`` collects).
 STORE_SCHEMA_VERSION = 1
 
+#: Per-round membership lists (participants/discarded/attackers) longer than
+#: this are offloaded to the record's compressed ``.npz`` sidecar instead of
+#: being inlined as JSON — a 100k-client round would otherwise write ~1 MB of
+#: JSON integers *per round per field*.
+OFFLOAD_LIST_THRESHOLD = 1024
+
+#: The RoundRecord fields eligible for sidecar offload (flat int lists).
+_OFFLOADABLE_FIELDS = ("participants", "discarded", "attackers")
+
 
 def json_sanitize(value: object) -> object:
     """Recursively convert ``value`` into plain JSON-serialisable types.
@@ -98,18 +107,32 @@ def write_json_record(path: str | Path, payload: Mapping[str, object], *, kind: 
     return path
 
 
-def history_to_payload(history: TrainingHistory) -> dict:
-    """The full JSON payload of a history (all round fields, extras included)."""
-    return {
-        "label": history.label,
-        "rounds": [
-            {
-                f.name: json_sanitize(getattr(record, f.name))
-                for f in dataclasses.fields(record)
-            }
-            for record in history.rounds
-        ],
-    }
+def history_to_payload(history: TrainingHistory, *, offload: dict | None = None) -> dict:
+    """The full JSON payload of a history (all round fields, extras included).
+
+    With ``offload`` given (a mutable dict), membership lists longer than
+    :data:`OFFLOAD_LIST_THRESHOLD` are moved into it as int64 arrays keyed
+    ``round<i>_<field>`` and replaced in the JSON by a
+    ``{"__npz__": key, "count": n}`` reference; the caller persists the dict
+    to the record's ``.npz`` sidecar.  Without it everything inlines as before.
+    """
+    rounds = []
+    for index, record in enumerate(history.rounds):
+        row = {}
+        for f in dataclasses.fields(record):
+            value = getattr(record, f.name)
+            if (
+                offload is not None
+                and f.name in _OFFLOADABLE_FIELDS
+                and len(value) > OFFLOAD_LIST_THRESHOLD
+            ):
+                ref = f"round{index}_{f.name}"
+                offload[ref] = np.asarray(value, dtype=np.int64)
+                row[f.name] = {"__npz__": ref, "count": len(value)}
+            else:
+                row[f.name] = json_sanitize(value)
+        rounds.append(row)
+    return {"label": history.label, "rounds": rounds}
 
 
 #: Per-field decoders restoring the types ``json_sanitize`` flattened.
@@ -130,7 +153,9 @@ _ROUND_DECODERS = {
 }
 
 
-def history_from_payload(payload: Mapping[str, object]) -> TrainingHistory:
+def history_from_payload(
+    payload: Mapping[str, object], *, arrays: Mapping[str, object] | None = None
+) -> TrainingHistory:
     """Rebuild a :class:`TrainingHistory` written by :func:`history_to_payload`.
 
     Scalar fields regain their numeric types and reward keys their int form;
@@ -139,6 +164,10 @@ def history_from_payload(payload: Mapping[str, object]) -> TrainingHistory:
     the writer, the reader iterates the :class:`RoundRecord` dataclass
     fields, so a field added later is persisted *and* reloaded (as its JSON
     form) instead of being silently dropped on read.
+
+    ``arrays`` resolves ``{"__npz__": ...}`` sidecar references produced by
+    the writer's offload mode; a reference with no matching array raises
+    ``KeyError`` (the run store treats that as an unloadable record).
     """
     history = TrainingHistory(label=str(payload.get("label", "run")))
     record_fields = dataclasses.fields(RoundRecord)
@@ -147,19 +176,32 @@ def history_from_payload(payload: Mapping[str, object]) -> TrainingHistory:
         for f in record_fields:
             if f.name not in row:
                 continue
+            value = row[f.name]
+            if isinstance(value, Mapping) and "__npz__" in value:
+                ref = str(value["__npz__"])
+                if arrays is None or ref not in arrays:
+                    raise KeyError(
+                        f"round field {f.name!r} references sidecar array {ref!r} "
+                        "but no such array is available"
+                    )
+                value = np.asarray(arrays[ref]).tolist()
             decode = _ROUND_DECODERS.get(f.name)
-            kwargs[f.name] = decode(row[f.name]) if decode is not None else row[f.name]
+            kwargs[f.name] = decode(value) if decode is not None else value
         history.append(RoundRecord(**kwargs))
     return history
 
 
-def run_record_payload(spec, result, *, key: str, fingerprint: str) -> dict:
+def run_record_payload(
+    spec, result, *, key: str, fingerprint: str, offload: dict | None = None
+) -> dict:
     """The persisted form of one executed scenario.
 
     ``spec`` round-trips through :meth:`ScenarioSpec.to_mapping` (so a stored
     record can be re-validated and re-keyed later), the history keeps every
     round field, and the one-line summary is precomputed so ``repro report``
-    can tabulate a store without replaying histories.
+    can tabulate a store without replaying histories.  ``offload`` is passed
+    through to :func:`history_to_payload` for sidecar offload of huge
+    membership lists.
     """
     return {
         "key": key,
@@ -167,7 +209,7 @@ def run_record_payload(spec, result, *, key: str, fingerprint: str) -> dict:
         "system": result.system,
         "spec": spec.to_mapping(),
         "summary": summarize_history(result.history),
-        "history": history_to_payload(result.history),
+        "history": history_to_payload(result.history, offload=offload),
         "extras": json_sanitize(dict(result.extras)),
         "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }

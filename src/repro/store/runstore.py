@@ -101,8 +101,20 @@ class RunStore:
         When True, each :meth:`put` also writes ``<key>.npz`` with the
         per-round scalar series (delays, accuracies, elapsed times, train
         losses) via :func:`numpy.savez_compressed` — a plotting-friendly
-        side artifact; the JSON record stays authoritative.
+        side artifact; the JSON record stays authoritative for those.
+
+    Regardless of ``compress``, a record whose rounds carry at least
+    :attr:`OFFLOAD_TOTAL_THRESHOLD` membership entries in total (a 100k-client
+    cohort run lists every participant every round) *offloads* the huge
+    per-round lists into the same ``.npz`` sidecar instead of inlining them as
+    JSON integers; the JSON keeps ``{"__npz__": ...}`` references that
+    :meth:`load` resolves transparently.
     """
+
+    #: Records whose rounds carry at least this many membership entries in
+    #: total (participants + discarded + attackers across all rounds) write
+    #: the large lists to the compressed sidecar rather than the JSON record.
+    OFFLOAD_TOTAL_THRESHOLD = 10_000
 
     def __init__(self, root: str | Path = DEFAULT_STORE_ROOT, *, compress: bool = False):
         self.root = Path(root)
@@ -137,14 +149,22 @@ class RunStore:
         if path.exists() and not overwrite:
             return self.load(key)
         fingerprint = capability_fingerprint(spec.system)
-        payload = run_record_payload(spec, result, key=key, fingerprint=fingerprint)
+        history = result.history
+        total_members = sum(
+            len(r.participants) + len(r.discarded) + len(r.attackers)
+            for r in history.rounds
+        )
+        use_sidecar = self.compress or total_members >= self.OFFLOAD_TOTAL_THRESHOLD
+        offload: dict | None = {} if use_sidecar else None
+        payload = run_record_payload(
+            spec, result, key=key, fingerprint=fingerprint, offload=offload
+        )
         arrays_path = path.with_suffix(".npz")
-        if self.compress:
+        if use_sidecar:
             # Written atomically and *before* the JSON record, so a record
             # never advertises arrays that do not exist; a kill in between
             # leaves an orphan .npz that gc() reclaims.
             path.parent.mkdir(parents=True, exist_ok=True)
-            history = result.history
             tmp = arrays_path.with_name(arrays_path.name + ".tmp")
             with open(tmp, "wb") as handle:
                 np.savez_compressed(
@@ -155,6 +175,7 @@ class RunStore:
                     train_losses=np.array(
                         [r.train_loss for r in history.rounds], dtype=np.float64
                     ),
+                    **(offload or {}),
                 )
             os.replace(tmp, arrays_path)
             payload["arrays"] = arrays_path.name
@@ -209,8 +230,19 @@ class RunStore:
             spec = ScenarioSpec.from_mapping(record["spec"])
         except (KeyError, ScenarioError, SystemRegistryError) as exc:
             raise RunStoreError(f"run record {path} has an unloadable spec: {exc}") from exc
+        arrays: dict[str, np.ndarray] | None = None
+        if record.get("arrays"):
+            arrays_path = path.with_suffix(".npz")
+            try:
+                with np.load(arrays_path) as data:
+                    arrays = {name: data[name] for name in data.files}
+            except (OSError, ValueError) as exc:
+                raise RunStoreError(
+                    f"run record {path} references sidecar {arrays_path.name} "
+                    f"but it cannot be loaded: {exc}"
+                ) from exc
         try:
-            history = history_from_payload(record["history"])
+            history = history_from_payload(record["history"], arrays=arrays)
         except (KeyError, TypeError, ValueError) as exc:
             raise RunStoreError(f"run record {path} has an unloadable history: {exc}") from exc
         result = RunResult(

@@ -11,15 +11,15 @@ the registrations.
 
 Capability summary:
 
-============== ============== =========== ======= ========
-system         needs_dataset  round_modes attacks defenses
-============== ============== =========== ======= ========
-fairbfl        yes            yes         yes     yes
-fairbfl-discard yes           yes         yes     yes
-fedavg         yes            no          no      yes
-fedprox        yes            no          no      yes
-blockchain     no             no          no      no
-============== ============== =========== ======= ========
+============== ============== =========== ======= ======== ======
+system         needs_dataset  round_modes attacks defenses cohort
+============== ============== =========== ======= ======== ======
+fairbfl        yes            yes         yes     yes      yes
+fairbfl-discard yes           yes         yes     yes      yes
+fedavg         yes            no          no      yes      yes
+fedprox        yes            no          no      yes      yes
+blockchain     no             no          no      no       no
+============== ============== =========== ======= ======== ======
 """
 
 from __future__ import annotations
@@ -50,7 +50,7 @@ class FairBFLSystem(System):
     name = "fairbfl"
     description = "FAIR-BFL with the keep strategy (Algorithm 1 + Algorithm 2 incentives)"
     capabilities = SystemCapabilities(
-        needs_dataset=True, round_modes=True, attacks=True, defenses=True
+        needs_dataset=True, round_modes=True, attacks=True, defenses=True, cohort=True
     )
 
     def build_config(self, spec):
@@ -76,7 +76,7 @@ class FedAvgSystem(System):
 
     name = "fedavg"
     description = "FedAvg baseline: central aggregation, no blockchain costs"
-    capabilities = SystemCapabilities(needs_dataset=True, defenses=True)
+    capabilities = SystemCapabilities(needs_dataset=True, defenses=True, cohort=True)
 
     def build_config(self, spec):
         return spec.fedavg_config()
@@ -90,7 +90,7 @@ class FedProxSystem(System):
 
     name = "fedprox"
     description = "FedProx baseline: proximal term + straggler dropping"
-    capabilities = SystemCapabilities(needs_dataset=True, defenses=True)
+    capabilities = SystemCapabilities(needs_dataset=True, defenses=True, cohort=True)
 
     def build_config(self, spec):
         return spec.fedprox_config()

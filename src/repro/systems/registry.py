@@ -85,12 +85,21 @@ class SystemCapabilities:
     defenses:
         Whether the system routes aggregation through the robust-aggregation
         pipeline (``defense``, ``defense_fraction``).
+    cohort:
+        Whether the system can run local updates on the vectorized cohort
+        backend (``backend="cohort"``), i.e. its trainer fans Procedure I
+        out through a :class:`~repro.runner.executor.ParallelExecutor`.
+        Unlike the other axes this one is engaged by a *specific value*:
+        ``backend="thread"``/``"process"`` stay valid for every system (a
+        system that ignores the executor simply ignores them), only
+        ``backend="cohort"`` requires the capability.
     """
 
     needs_dataset: bool = True
     round_modes: bool = False
     attacks: bool = False
     defenses: bool = False
+    cohort: bool = False
 
 
 #: Scenario fields owned by each capability axis.  The guard defaults are
@@ -101,12 +110,26 @@ _AXIS_FIELDS: dict[str, tuple[str, ...]] = {
     "round_modes": ("round_mode", "straggler_deadline", "async_quorum", "staleness_decay"),
     "attacks": ("attacks", "attack_name", "min_attackers", "max_attackers"),
     "defenses": ("defense", "defense_fraction"),
+    "cohort": ("backend",),
 }
 _AXIS_GUARDS: dict[str, tuple[str, object]] = {
     "round_modes": ("round_mode", "sync"),
     "attacks": ("attacks", False),
     "defenses": ("defense", "none"),
+    "cohort": ("backend", "serial"),
 }
+
+
+def _axis_engaged(axis: str, value: object, default: object) -> bool:
+    """Whether a guard-field value actually engages the capability axis.
+
+    The cohort axis is engaged only by the literal ``"cohort"`` backend —
+    ``thread``/``process`` are valid for every system (those that ignore the
+    executor simply ignore them), so they must not trip the check.
+    """
+    if axis == "cohort":
+        return value == "cohort"
+    return value != default
 
 
 def _guard_default(spec, guard_field: str, fallback: object) -> object:
@@ -352,7 +375,7 @@ def check_spec_axes(system: System, spec) -> None:
             continue
         default = _guard_default(spec, guard_field, fallback)
         value = getattr(spec, guard_field, default)
-        if value != default:
+        if _axis_engaged(axis, value, default):
             supported = systems_supporting(axis)
             raise SystemRegistryError(
                 f"system {system.name!r} does not support {guard_field}="
@@ -373,6 +396,8 @@ def filter_unsupported_axes(system: System | str, mapping: Mapping[str, object])
     for axis, axis_fields in _AXIS_FIELDS.items():
         if getattr(system.capabilities, axis):
             continue
+        if axis == "cohort" and out.get("backend") != "cohort":
+            continue  # thread/process are valid everywhere; only "cohort" engages
         for field_name in axis_fields:
             out.pop(field_name, None)
     return out

@@ -61,7 +61,7 @@ def check_executor_settings(backend: str, workers: int | None) -> str:
     config dataclasses can validate eagerly without importing the executor
     machinery at module-import time.
     """
-    valid = ("serial", "thread", "process")
+    valid = ("serial", "thread", "process", "cohort")
     key = str(backend).strip().lower()
     if key not in valid:
         raise ValueError(

@@ -1,0 +1,298 @@
+"""Finite-difference gradient checks for every layer, loss, and cohort kernel.
+
+The analytic backward passes are the foundation both execution paths share:
+the serial per-client loop uses the :mod:`repro.nn.layers` modules directly,
+and the vectorized cohort engine re-implements the same math as batched
+``(clients, batch, features)`` kernels (:mod:`repro.nn.cohort`).  A wrong
+gradient would not crash anything — training would just quietly converge to
+the wrong place — so every backward is checked against a central-difference
+numerical gradient here, in both the single-sample and stacked shapes.
+
+Coverage is enforced structurally: the parametrised case lists are asserted
+against the ``__all__`` of :mod:`repro.nn.layers` and
+:mod:`repro.nn.losses`, so adding a layer or loss without a gradcheck fails
+the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import cohort as nn_cohort
+from repro.nn import layers as nn_layers
+from repro.nn import losses as nn_losses
+from repro.nn.layers import Dropout, Flatten, Linear, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropyLoss
+from repro.nn.module import Module
+
+EPS = 1e-6
+RTOL = 1e-5
+ATOL = 1e-7
+
+# Batch axes: the single-sample shape and a stacked batch.
+BATCH_SIZES = (1, 4)
+
+
+def numerical_grad(f, x: np.ndarray) -> np.ndarray:
+    """Central-difference gradient of scalar ``f`` w.r.t. every entry of ``x``.
+
+    ``x`` is perturbed in place and restored, so ``f`` may close over it.
+    """
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + EPS
+        plus = f()
+        x[idx] = orig - EPS
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2.0 * EPS)
+    return grad
+
+
+# ---------------------------------------------------------------------------
+# Layers
+# ---------------------------------------------------------------------------
+
+def _make_input(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Inputs bounded away from zero so kinked activations (ReLU) stay smooth
+    within the finite-difference step."""
+    magnitude = rng.uniform(0.2, 1.5, size=shape)
+    sign = np.where(rng.random(shape) < 0.5, -1.0, 1.0)
+    return magnitude * sign
+
+
+def _layer_case(name: str):
+    """Build ``(layer, feature_shape)`` for one gradcheck case.
+
+    ``feature_shape`` excludes the batch axis.  Dropout's RNG is reseeded
+    before every forward (see ``_reset``) so the numerical and analytic
+    passes see the same mask.
+    """
+    rng = np.random.default_rng(42)
+    if name == "Linear":
+        return Linear(4, 3, rng), (4,)
+    if name == "Linear-he-nobias":
+        return Linear(4, 3, rng, init="he", bias=False), (4,)
+    if name == "ReLU":
+        return ReLU(), (4,)
+    if name == "Tanh":
+        return Tanh(), (4,)
+    if name == "Sigmoid":
+        return Sigmoid(), (4,)
+    if name == "Softmax":
+        return Softmax(), (4,)
+    if name == "Dropout":
+        return Dropout(0.3, rng), (4,)
+    if name == "Flatten":
+        return Flatten(), (2, 3)
+    raise AssertionError(f"no gradcheck case for layer {name!r}")
+
+
+LAYER_CASES = (
+    "Linear",
+    "Linear-he-nobias",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "Dropout",
+    "Flatten",
+)
+
+
+def _reset(layer: Module) -> None:
+    """Make the layer's forward pass a pure function of its input/params."""
+    if isinstance(layer, Dropout):
+        layer._rng = np.random.default_rng(7)
+
+
+def test_every_layer_has_a_gradcheck():
+    covered = {case.split("-")[0] for case in LAYER_CASES}
+    assert covered == set(nn_layers.__all__)
+
+
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+@pytest.mark.parametrize("case", LAYER_CASES)
+def test_layer_gradients(case, batch):
+    layer, feature_shape = _layer_case(case)
+    rng = np.random.default_rng(1)
+    x = _make_input((batch, *feature_shape), rng)
+    _reset(layer)
+    out_shape = layer.forward(x).shape
+    # Random projection makes the output a scalar objective with a dense,
+    # non-degenerate upstream gradient.
+    projection = rng.standard_normal(out_shape)
+
+    def objective() -> float:
+        _reset(layer)
+        return float(np.sum(layer.forward(x) * projection))
+
+    # Analytic pass: input gradient from backward, parameter gradients from
+    # the accumulated ``.grad`` buffers.
+    layer.zero_grad()
+    _reset(layer)
+    layer.forward(x)
+    input_grad = layer.backward(projection)
+
+    np.testing.assert_allclose(
+        input_grad, numerical_grad(objective, x), rtol=RTOL, atol=ATOL,
+        err_msg=f"{case}: d(objective)/d(input) mismatch at batch={batch}",
+    )
+    for pname, param in layer.named_parameters():
+        np.testing.assert_allclose(
+            param.grad, numerical_grad(objective, param.value), rtol=RTOL, atol=ATOL,
+            err_msg=f"{case}: d(objective)/d({pname}) mismatch at batch={batch}",
+        )
+
+
+def test_dropout_eval_mode_is_identity():
+    layer = Dropout(0.5, np.random.default_rng(0))
+    layer.eval()
+    x = np.random.default_rng(1).standard_normal((3, 4))
+    assert layer.forward(x) is not None
+    np.testing.assert_array_equal(layer.forward(x), x)
+    np.testing.assert_array_equal(layer.backward(x), x)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+
+def test_every_loss_has_a_gradcheck():
+    assert set(nn_losses.__all__) == {"Loss", "SoftmaxCrossEntropyLoss", "MSELoss"}
+
+
+@pytest.mark.parametrize("batch", (1, 5))
+def test_softmax_cross_entropy_gradient(batch):
+    rng = np.random.default_rng(2)
+    logits = rng.standard_normal((batch, 4))
+    labels = rng.integers(0, 4, size=batch)
+    loss = SoftmaxCrossEntropyLoss()
+
+    loss.forward(logits, labels)
+    analytic = loss.backward()
+
+    def objective() -> float:
+        return SoftmaxCrossEntropyLoss().forward(logits, labels)
+
+    np.testing.assert_allclose(
+        analytic, numerical_grad(objective, logits), rtol=RTOL, atol=ATOL
+    )
+
+
+@pytest.mark.parametrize("shape", ((1, 3), (4, 3), (2, 2, 3)))
+def test_mse_gradient(shape):
+    rng = np.random.default_rng(3)
+    preds = rng.standard_normal(shape)
+    targets = rng.standard_normal(shape)
+    loss = MSELoss()
+
+    loss.forward(preds, targets)
+    analytic = loss.backward()
+
+    def objective() -> float:
+        return MSELoss().forward(preds, targets)
+
+    np.testing.assert_allclose(
+        analytic, numerical_grad(objective, preds), rtol=RTOL, atol=ATOL
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cohort kernels: the batched counterparts used by the vectorized engine
+# ---------------------------------------------------------------------------
+
+class _Stack(Module):
+    """A bare layer stack exposing ``.layers`` for ``CohortModel.from_module``."""
+
+    def __init__(self, layers) -> None:
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(self.layers):
+            self.register_module(f"layer{i}", layer)
+
+
+def _cohort_setup(clients: int):
+    """A stack covering every cohort op, with per-client flat parameters."""
+    rng = np.random.default_rng(4)
+    template = _Stack(
+        [
+            Flatten(),
+            Linear(4, 3, rng),
+            Tanh(),
+            Linear(3, 3, rng, init="he"),
+            ReLU(),
+            Sigmoid(),
+            Linear(3, 2, rng, bias=False),
+            Softmax(),
+            Dropout(0.0, rng),  # rate-0 dropout compiles to the identity op
+        ]
+    )
+    model = nn_cohort.CohortModel.from_module(template)
+    params = rng.standard_normal((clients, model.num_parameters)) * 0.5
+    x = _make_input((clients, 2, 2, 2), rng)  # Flatten folds (2, 2) -> 4
+    return model, params, x
+
+
+@pytest.mark.parametrize("clients", (1, 3))
+def test_cohort_model_gradients(clients):
+    model, params, x = _cohort_setup(clients)
+    rng = np.random.default_rng(5)
+    projection = rng.standard_normal(model.forward(params, x).shape)
+
+    def objective() -> float:
+        return float(np.sum(model.forward(params, x) * projection))
+
+    grads = np.zeros_like(params)
+    model.forward(params, x)
+    input_grad = model.backward(params, grads, projection)
+
+    np.testing.assert_allclose(
+        input_grad, numerical_grad(objective, x), rtol=RTOL, atol=ATOL,
+        err_msg=f"cohort stack: input gradient mismatch at clients={clients}",
+    )
+    np.testing.assert_allclose(
+        grads, numerical_grad(objective, params), rtol=RTOL, atol=ATOL,
+        err_msg=f"cohort stack: parameter gradient mismatch at clients={clients}",
+    )
+
+
+@pytest.mark.parametrize("clients", (1, 3))
+def test_batched_cross_entropy_gradient(clients):
+    rng = np.random.default_rng(6)
+    logits = rng.standard_normal((clients, 3, 4))
+    labels = rng.integers(0, 4, size=(clients, 3))
+
+    _, probs = nn_cohort.batched_softmax_cross_entropy(logits, labels)
+    analytic = nn_cohort.batched_softmax_cross_entropy_grad(probs, labels)
+
+    # Per-client losses are independent, so the gradient of their *sum* is
+    # exactly the stacked per-client gradient.
+    def objective() -> float:
+        losses, _ = nn_cohort.batched_softmax_cross_entropy(logits, labels)
+        return float(sum(losses))
+
+    np.testing.assert_allclose(
+        analytic, numerical_grad(objective, logits), rtol=RTOL, atol=ATOL
+    )
+
+
+def test_proximal_term_gradient():
+    """`add_proximal_term` is d/dw of (mu/2)||w - w_global||^2, stacked."""
+    rng = np.random.default_rng(8)
+    params = rng.standard_normal((3, 5))
+    global_ref = rng.standard_normal(5)
+    mu = 0.1
+
+    def objective() -> float:
+        return float(0.5 * mu * np.sum((params - global_ref[None, :]) ** 2))
+
+    grads = np.zeros_like(params)
+    nn_cohort.add_proximal_term(grads, params, global_ref, mu)
+    np.testing.assert_allclose(
+        grads, numerical_grad(objective, params), rtol=RTOL, atol=ATOL
+    )
