@@ -1,0 +1,195 @@
+"""Search efficiency: ASHA vs the exhaustive grid on a defended-attack sweep.
+
+The adaptive search's pitch is *quality at a fraction of the budget*: launch
+every hyper-parameter combination at low fidelity (few communication rounds),
+keep the top ``1/eta`` per rung, and promote the survivors by **resuming their
+stored checkpoints** instead of replaying them.  This bench makes the three
+load-bearing claims assertable on a real workload — FAIR-BFL under a
+mixed-attack adversary, searching ``(learning_rate, defense,
+defense_fraction, staleness_decay)``:
+
+* **quality** — ASHA's winner scores within :data:`QUALITY_TOLERANCE` of the
+  exhaustive grid's best final accuracy;
+* **budget** — ASHA spends at most :data:`BUDGET_FRACTION` of the grid's
+  round-evaluations (the engine's ``round_evaluations`` counter: only rounds
+  actually computed count; checkpoint-resumed prefixes and cache hits are
+  free);
+* **resumability** — a search killed after its first rung and re-run against
+  the same store finishes with a bit-identical leaderboard while recomputing
+  only what the kill lost.
+
+The smoke tier runs a 4-trial cohort end-to-end for structural coverage;
+the full grid (3 lrs x 2 defenses x 2 fractions x 2 decays = 24 trials)
+runs via ``pytest benchmarks/bench_search_efficiency.py`` or
+``REPRO_FULL_BENCH=1``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import emit, emit_json
+from repro import api
+from repro.core.results import ComparisonResult, summarize_history
+from repro.runner.scenario import ScenarioSpec
+from repro.search import run_search
+
+#: ASHA's winner must land within this much final accuracy of the grid's best.
+QUALITY_TOLERANCE = 0.03
+#: ...while spending at most this fraction of the grid's round-evaluations.
+BUDGET_FRACTION = 0.40
+
+ETA = 3
+FULL_ROUNDS = 9
+#: First-rung fidelity.  The default ``ceil(R/eta²) = 1`` round is too noisy
+#: to rank a defended-attack cohort reliably; two rounds gives a stable
+#: ranking at rungs (2, 6, 9) while keeping the budget at 40% of the grid.
+MIN_ROUNDS = 2
+
+#: The searched axes: optimisation (lr), defense choice and sizing, and the
+#: async staleness weighting — 24 grid cells under a mixed-attack adversary.
+LEARNING_RATES = (0.01, 0.05, 0.2)
+DEFENSES = ("none", "krum")
+DEFENSE_FRACTIONS = (0.1, 0.3)
+STALENESS_DECAYS = (0.25, 1.0)
+
+
+def _trial(lr: float, defense: str, fraction: float, decay: float) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"search[lr={lr},defense={defense},frac={fraction},decay={decay}]",
+        system="fairbfl",
+        num_clients=8,
+        num_samples=320,
+        num_rounds=FULL_ROUNDS,
+        participation=0.5,
+        round_mode="async",
+        staleness_decay=decay,
+        attacks=True,
+        attack_name="mixed",
+        defense=defense,
+        defense_fraction=fraction,
+        learning_rate=lr,
+        seed=5,
+    )
+
+
+def _grid() -> list[ScenarioSpec]:
+    return [
+        _trial(lr, defense, fraction, decay)
+        for lr in LEARNING_RATES
+        for defense in DEFENSES
+        for fraction in DEFENSE_FRACTIONS
+        for decay in STALENESS_DECAYS
+    ]
+
+
+def _leaderboard_fingerprint(result) -> list[tuple]:
+    return [dataclasses.astuple(t) for t in result.leaderboard]
+
+
+def test_search_efficiency(benchmark, tmp_path):
+    trials = _grid()
+
+    def _run():
+        # Exhaustive reference: every cell at full fidelity on a storeless
+        # engine, so the search below cannot free-ride on its records.
+        grid_engine = api.ExperimentEngine()
+        grid_scores = {}
+        for spec in trials:
+            history = grid_engine.run(spec)
+            grid_scores[spec.name] = float(summarize_history(history)["final_accuracy"])
+        # Adaptive search on a fresh store.
+        engine = api.ExperimentEngine(store=api.RunStore(tmp_path / "asha"), reuse_cached=True)
+        result = run_search(trials, engine=engine, eta=ETA, min_rounds=MIN_ROUNDS)
+        # Kill-and-resume: replay only rung 0 into a fresh store, then re-run
+        # the full search against it.
+        killed = api.ExperimentEngine(store=api.RunStore(tmp_path / "killed"), reuse_cached=True)
+        for spec in trials:
+            killed.run_partial(spec, result.rungs[0])
+        resumed = run_search(trials, engine=killed, eta=ETA, min_rounds=MIN_ROUNDS)
+        return grid_engine, grid_scores, result, resumed
+
+    grid_engine, grid_scores, result, resumed = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    grid_best_name = max(grid_scores, key=grid_scores.get)
+    grid_best = grid_scores[grid_best_name]
+    gap = grid_best - result.best.score
+
+    table = ComparisonResult(
+        title="Search efficiency -- ASHA vs exhaustive grid (mixed-attack FAIR-BFL)",
+        columns=["strategy", "round_evals", "best_scenario", "best_final_accuracy"],
+    )
+    table.add_row("grid", grid_engine.round_evaluations, grid_best_name, grid_best)
+    table.add_row("asha", result.round_evaluations, result.best.name, result.best.score)
+    table.notes.append(
+        f"rungs {result.rungs}, eta {ETA}: {result.evaluation_fraction:.0%} of the "
+        f"grid's round-evaluations, accuracy gap {gap:+.4f}"
+    )
+    emit(table, "search_efficiency.txt")
+    emit_json(
+        "search_efficiency",
+        config={
+            "eta": ETA,
+            "rungs": list(result.rungs),
+            "grid_cells": len(trials),
+            "full_rounds": FULL_ROUNDS,
+            "quality_tolerance": QUALITY_TOLERANCE,
+            "budget_fraction": BUDGET_FRACTION,
+        },
+        measurements=[
+            {
+                "label": "grid",
+                "round_evaluations": grid_engine.round_evaluations,
+                "best": grid_best_name,
+                "best_final_accuracy": grid_best,
+            },
+            {
+                "label": "asha",
+                "round_evaluations": result.round_evaluations,
+                "best": result.best.name,
+                "best_final_accuracy": result.best.score,
+            },
+        ],
+        notes=[
+            "round_evaluations counts computed rounds only (resume/cache are free)",
+            "killed-and-resumed search asserted bit-identical to the straight search",
+        ],
+        specs=trials,
+    )
+
+    # Quality: the adaptive winner is competitive with the exhaustive best.
+    assert gap <= QUALITY_TOLERANCE, (
+        f"ASHA best {result.best.score:.4f} ({result.best.name}) trails grid best "
+        f"{grid_best:.4f} ({grid_best_name}) by {gap:.4f} > {QUALITY_TOLERANCE}"
+    )
+    # Budget: at most 40% of the grid's round-evaluations.
+    assert result.grid_round_evaluations == grid_engine.round_evaluations
+    assert result.round_evaluations <= BUDGET_FRACTION * result.grid_round_evaluations, (
+        f"ASHA spent {result.round_evaluations} round-evaluations, over "
+        f"{BUDGET_FRACTION:.0%} of the grid's {result.grid_round_evaluations}"
+    )
+    # Resumability: the killed-and-resumed search finishes bit-identically.
+    assert _leaderboard_fingerprint(resumed) == _leaderboard_fingerprint(result)
+    assert resumed.cache_hits >= len(trials)
+
+
+@pytest.mark.smoke
+def test_search_efficiency_smoke(tmp_path):
+    """Fast structural pass: a 4-trial corner of the grid, all three claims."""
+    trials = [
+        _trial(lr, defense, DEFENSE_FRACTIONS[0], STALENESS_DECAYS[0])
+        for lr in LEARNING_RATES[:2]
+        for defense in DEFENSES
+    ]
+    engine = api.ExperimentEngine(store=api.RunStore(tmp_path / "a"), reuse_cached=True)
+    result = run_search(trials, engine=engine, eta=2, min_rounds=3)
+    assert result.round_evaluations < result.grid_round_evaluations
+    assert result.best.name == result.leaderboard[0].name
+
+    killed = api.ExperimentEngine(store=api.RunStore(tmp_path / "b"), reuse_cached=True)
+    for spec in trials:
+        killed.run_partial(spec, result.rungs[0])
+    resumed = run_search(trials, engine=killed, eta=2, min_rounds=3)
+    assert _leaderboard_fingerprint(resumed) == _leaderboard_fingerprint(result)

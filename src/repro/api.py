@@ -2,7 +2,7 @@
 
 ``repro.api`` is the one import that benchmarks, the CLI, notebooks, and
 downstream scripts should reach for.  It re-exports the declarative scenario
-layer and the system registry, and adds five verbs:
+layer and the system registry, and adds seven verbs:
 
 * :func:`run` — execute one scenario (spec, mapping, or system name plus
   field overrides) and return its :class:`~repro.fl.history.TrainingHistory`;
@@ -10,6 +10,9 @@ layer and the system registry, and adds five verbs:
   grid point through one dataset-memoising engine;
 * :func:`compare` — run several systems on one shared workload, applying
   each field only to the systems whose registered capabilities support it;
+* :func:`search` — adaptive (ASHA / successive-halving) sweep: launch the
+  expanded cohort at low fidelity, keep the top ``1/eta`` per rung, resume
+  survivors from their stored checkpoints (see ``docs/search.md``);
 * :func:`load_scenario` — parse a JSON/TOML file or mapping into validated
   :class:`~repro.runner.scenario.ScenarioSpec` objects;
 * :func:`list_systems` — the registered system names (CLI choices, sweep
@@ -17,7 +20,7 @@ layer and the system registry, and adds five verbs:
 * :func:`report` — tabulate a content-addressed :class:`RunStore` into the
   paper-style summary table without re-running anything.
 
-``run``/``sweep``/``compare`` accept an opt-in ``cache`` argument:
+``run``/``sweep``/``compare``/``search`` accept an opt-in ``cache`` argument:
 ``cache="store"`` persists every run under its content key in the default
 ``results/store/`` and reuses existing records (``repro sweep --resume`` is
 this path); a directory path or a :class:`RunStore` selects another store.
@@ -60,6 +63,7 @@ from repro.runner.scenario import (
     load_scenario_file,
     scenarios_from_mapping,
 )
+from repro.search import SearchResult, run_search
 from repro.store.keys import spec_key
 from repro.store.report import report_table
 from repro.store.runstore import RunStore, StoredRun
@@ -84,6 +88,7 @@ __all__ = [  # pinned by tests/test_systems_api.py::test_public_api_snapshot
     "ScenarioMatrix",
     "ScenarioResult",
     "ScenarioSpec",
+    "SearchResult",
     "StoredRun",
     "System",
     "SystemCapabilities",
@@ -96,6 +101,7 @@ __all__ = [  # pinned by tests/test_systems_api.py::test_public_api_snapshot
     "register_system",
     "report",
     "run",
+    "search",
     "spec_key",
     "sweep",
     "unregister_system",
@@ -186,6 +192,41 @@ def run(
     return _engine_for(engine, cache).run(spec)
 
 
+def _expand_sources(
+    sources, *, overrides: Mapping[str, object] | None = None, verb: str = "sweep"
+) -> list[ScenarioSpec]:
+    """Expand sweep/search sources into validated specs (overrides applied).
+
+    Each source may be a scenario file path, a parsed document mapping, a
+    :class:`ScenarioSpec`, or an iterable of specs; ``overrides`` apply to
+    every expanded scenario with capability-gated axis fields dropped for
+    systems that do not support them.
+    """
+    specs: list[ScenarioSpec] = []
+    for source in sources:
+        if isinstance(source, ScenarioSpec):
+            specs.append(source.validate())
+        elif isinstance(source, Mapping):
+            specs.extend(scenarios_from_mapping(dict(source)))
+        elif isinstance(source, Iterable) and not isinstance(source, (str, Path)):
+            for spec in source:
+                if not isinstance(spec, ScenarioSpec):
+                    raise ScenarioError(
+                        f"{verb}() iterables must contain ScenarioSpec objects, got "
+                        f"{type(spec).__name__}"
+                    )
+                specs.append(spec.validate())
+        else:
+            specs.extend(load_scenario_file(source))
+    if overrides:
+        applied: list[ScenarioSpec] = []
+        for spec in specs:
+            filtered = filter_unsupported_axes(spec.system, overrides)
+            applied.append(spec.with_overrides(**filtered) if filtered else spec)
+        specs = applied
+    return specs
+
+
 def sweep(
     *sources,
     engine: ExperimentEngine | None = None,
@@ -204,28 +245,7 @@ def sweep(
     already exist in the store load from disk, only the missing cells
     compute (``repro sweep --resume`` is exactly this).
     """
-    specs: list[ScenarioSpec] = []
-    for source in sources:
-        if isinstance(source, ScenarioSpec):
-            specs.append(source.validate())
-        elif isinstance(source, Mapping):
-            specs.extend(scenarios_from_mapping(dict(source)))
-        elif isinstance(source, Iterable) and not isinstance(source, (str, Path)):
-            for spec in source:
-                if not isinstance(spec, ScenarioSpec):
-                    raise ScenarioError(
-                        "sweep() iterables must contain ScenarioSpec objects, got "
-                        f"{type(spec).__name__}"
-                    )
-                specs.append(spec.validate())
-        else:
-            specs.extend(load_scenario_file(source))
-    if overrides:
-        applied: list[ScenarioSpec] = []
-        for spec in specs:
-            filtered = filter_unsupported_axes(spec.system, overrides)
-            applied.append(spec.with_overrides(**filtered) if filtered else spec)
-        specs = applied
+    specs = _expand_sources(sources, overrides=overrides, verb="sweep")
     if title is None:
         title = f"Scenario sweep ({len(specs)} scenario{'s' if len(specs) != 1 else ''})"
     return _engine_for(engine, cache).sweep_table(specs, title=title)
@@ -277,6 +297,51 @@ def compare(
             summary["final_accuracy"],
         )
     return table, results
+
+
+def search(
+    *sources,
+    metric="final_accuracy",
+    eta: int = 3,
+    min_rounds: int | None = None,
+    max_rounds: int | None = None,
+    engine: ExperimentEngine | None = None,
+    cache=None,
+    overrides: Mapping[str, object] | None = None,
+) -> SearchResult:
+    """Adaptive (ASHA / successive-halving) search over a scenario cohort.
+
+    ``sources`` expand exactly like :func:`sweep` (files, mappings, specs —
+    a cartesian ``matrix`` document is the natural grid).  Every expanded
+    scenario is one trial; trials run at the first rung's fidelity (few
+    rounds), are ranked by ``metric`` (``final_accuracy``, ``avg_accuracy``,
+    or ``delay`` — validated against the trial systems' registered
+    capabilities), and only the top ``1/eta`` fraction is promoted to the
+    next rung, up to ``max_rounds`` (default: the largest ``num_rounds``
+    among the trials).
+
+    Pass ``cache="store"`` (or a store path / :class:`RunStore`) to make
+    promotions cheap and the search durable: every rung evaluation is a
+    first-class content-addressed record carrying a resumable checkpoint, so
+    a promoted trial *continues* from round ``r`` instead of replaying it,
+    a killed search re-run with the same store finishes bit-identically, and
+    concurrent searches share rungs.  Without a store the rankings are
+    identical but every rung recomputes from round zero.
+
+    Returns a :class:`SearchResult` (rung-by-rung standings, final
+    leaderboard, best trial, and the round-evaluation budget actually
+    spent vs. the exhaustive grid's).
+    """
+    specs = _expand_sources(sources, overrides=overrides, verb="search")
+    shared_engine = _engine_for(engine, cache)
+    return run_search(
+        specs,
+        engine=shared_engine,
+        metric=metric,
+        eta=eta,
+        min_rounds=min_rounds,
+        max_rounds=max_rounds,
+    )
 
 
 def report(

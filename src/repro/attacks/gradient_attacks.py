@@ -26,12 +26,21 @@ __all__ = [
     "ScalingAttack",
     "GaussianNoiseAttack",
     "ZeroGradientAttack",
+    "MixedAttack",
     "make_attack",
 ]
 
 #: Attack names accepted by :func:`make_attack` — the authoritative axis the
 #: scenario layer, the CLI, and the docs-coverage checker all share.
-ATTACKS = ("sign_flip", "scaling", "gaussian_noise", "zero_gradient", "label_flip", "none")
+ATTACKS = (
+    "sign_flip",
+    "scaling",
+    "gaussian_noise",
+    "zero_gradient",
+    "label_flip",
+    "mixed",
+    "none",
+)
 
 
 def _direction(update: ClientUpdate, global_parameters: np.ndarray | None) -> tuple[np.ndarray, np.ndarray]:
@@ -130,6 +139,43 @@ class ZeroGradientAttack(Attack):
         return self._mark(forged)
 
 
+class MixedAttack(Attack):
+    """A heterogeneous adversary: each forgery draws one of the base primitives.
+
+    Every malicious upload independently samples (from the caller's RNG, so
+    the choice sequence is deterministic per seed and identical across
+    executor backends) one of sign-flip, scaling, Gaussian-noise, or
+    zero-gradient — the setting where no single-attack-tuned defense is
+    automatically well-sized, which is what the hyper-parameter search bench
+    stresses.
+    """
+
+    name = "mixed"
+
+    def __init__(self, attacks: tuple[Attack, ...] | None = None) -> None:
+        self.attacks: tuple[Attack, ...] = tuple(attacks) if attacks else (
+            SignFlipAttack(),
+            ScalingAttack(),
+            GaussianNoiseAttack(),
+            ZeroGradientAttack(),
+        )
+        if not self.attacks:
+            raise ValueError("MixedAttack needs at least one sub-attack")
+
+    def apply(
+        self,
+        update: ClientUpdate,
+        rng: np.random.Generator,
+        *,
+        global_parameters: np.ndarray | None = None,
+    ) -> ClientUpdate:
+        chosen = self.attacks[int(rng.integers(len(self.attacks)))]
+        forged = chosen.apply(update, rng, global_parameters=global_parameters)
+        # Re-mark under the mixed name but keep the primitive for diagnostics.
+        forged.metadata["attack_primitive"] = chosen.name
+        return self._mark(forged)
+
+
 def make_attack(name: str, **kwargs) -> Attack:
     """Factory resolving an attack by name (see :data:`ATTACKS`).
 
@@ -152,6 +198,8 @@ def make_attack(name: str, **kwargs) -> Attack:
         from repro.attacks.label_flip import LabelFlipAttack
 
         return LabelFlipAttack(**kwargs)
+    if key == "mixed":
+        return MixedAttack(**kwargs)
     if key == "none":
         return NoAttack()
     raise ValueError(

@@ -12,6 +12,8 @@ Run the reproduced systems without writing any Python:
    python -m repro.cli compare --clients 12 --rounds 8 --export results.csv
    python -m repro.cli sweep --scenario scenarios/example_sweep.toml
    python -m repro.cli sweep --scenario scenarios/example_sweep.toml --resume
+   python -m repro.cli search --scenario scenarios/example_search.toml
+   python -m repro.cli search --scenario scenarios/example_search.toml --metric delay --eta 2
    python -m repro.cli report --markdown summary.md
    python -m repro.cli --plugins examples/custom_system.py run fedavg-momentum
 
@@ -19,15 +21,22 @@ Run the reproduced systems without writing any Python:
 ``compare`` runs every registered system on the same workload and prints the
 Figure-4-style comparison; ``sweep`` expands a JSON/TOML scenario file
 (single scenario, explicit list, or cartesian matrix — see
-``docs/scenarios.md``) and runs every grid point; ``report`` summarises the
-runs persisted in the content-addressed store without re-running anything.
+``docs/scenarios.md``) and runs every grid point; ``search`` runs the same
+expansion *adaptively* (ASHA successive halving: low-fidelity rungs, top
+``1/eta`` promoted, survivors resumed from stored checkpoints — see
+``docs/search.md``); ``report`` summarises the runs persisted in the
+content-addressed store without re-running anything.
 
 ``sweep`` persists every completed grid point to the run store
 (``results/store/`` by default, ``--store`` to relocate) as it goes, so a
 killed sweep loses nothing: re-running with ``--resume`` loads the finished
 cells from disk and computes only the missing ones, bit-identically to an
-uncached run.  ``--no-cache`` opts out of the store entirely.  Key
-semantics, layout, and a walkthrough live in ``docs/results.md``.
+uncached run.  ``--no-cache`` opts out of the store entirely.  ``search``
+reads *and* writes the store by default (rung checkpoints are how promotions
+resume; a killed search re-run finishes bit-identically).  Both print their
+engine counters at exit — runs computed, cache hits, and total simulated
+round-evaluations.  Key semantics, layout, and a walkthrough live in
+``docs/results.md``.
 
 The system choices are **derived from the system registry**
 (:mod:`repro.systems`): ``--plugins`` (repeatable, also the
@@ -57,7 +66,8 @@ import sys
 from repro import api
 from repro.attacks.gradient_attacks import ATTACKS
 from repro.core.io import save_comparison_csv, save_history_csv
-from repro.core.results import summarize_history
+from repro.core.results import ComparisonResult, summarize_history
+from repro.search import PROMOTION_METRICS
 from repro.fl.robust import DEFENSES
 from repro.runner.executor import EXECUTOR_BACKENDS
 from repro.runner.scenario import ScenarioError
@@ -222,6 +232,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="neither read nor write the run store; recompute everything",
     )
 
+    search_p = sub.add_parser(
+        "search",
+        help="adaptively search a scenario cohort with successive halving (ASHA)",
+    )
+    search_p.add_argument(
+        "--scenario",
+        required=True,
+        action="append",
+        help="scenario file (.json or .toml) whose expansion is the trial cohort; repeatable",
+    )
+    search_p.add_argument(
+        "--metric",
+        default="final_accuracy",
+        choices=list(PROMOTION_METRICS),
+        help="promotion metric trials are ranked by at each rung (docs/search.md)",
+    )
+    search_p.add_argument(
+        "--eta",
+        type=int,
+        default=3,
+        help="halving rate: top 1/eta of each rung is promoted, fidelity grows by eta",
+    )
+    search_p.add_argument(
+        "--min-rounds",
+        type=int,
+        default=None,
+        help="first rung's fidelity in rounds (default: ceil(max_rounds / eta^2))",
+    )
+    search_p.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        help="final rung's fidelity (default: the largest num_rounds in the cohort)",
+    )
+    search_p.add_argument(
+        "--export", default=None, help="write the final leaderboard to this CSV file"
+    )
+    add_backend(search_p, backend_default=None)
+    search_p.add_argument(
+        "--store",
+        default=str(DEFAULT_STORE_ROOT),
+        metavar="DIR",
+        help="content-addressed run store rung records and checkpoints live in "
+        "(the resume mechanism — docs/search.md)",
+    )
+    search_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the run store; every rung recomputes from round zero",
+    )
+
     report_p = sub.add_parser(
         "report", help="summarise the runs persisted in the content-addressed store"
     )
@@ -384,6 +445,70 @@ def main(argv: list[str] | None = None) -> int:
             print(f"markdown report written to {path}")
         return 0
 
+    if args.command == "search":
+        overrides = {}
+        if args.backend is not None:
+            overrides["backend"] = args.backend
+        if args.workers is not None:
+            overrides["max_workers"] = args.workers
+        # Unlike sweep, the store is read *and* written by default: rung
+        # checkpoints are how promotions resume, and a killed search re-run
+        # finishes bit-identically from whatever rungs already exist.
+        if not args.no_cache:
+            engine = api.ExperimentEngine(store=api.RunStore(args.store), reuse_cached=True)
+        try:
+            result = api.search(
+                *args.scenario,
+                engine=engine,
+                metric=args.metric,
+                eta=args.eta,
+                min_rounds=args.min_rounds,
+                max_rounds=args.max_rounds,
+                overrides=overrides or None,
+            )
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        rung_text = " -> ".join(str(r) for r in result.rungs)
+        print(
+            f"ASHA search: metric {result.metric} ({result.mode}), "
+            f"eta {result.eta}, rungs {rung_text}"
+        )
+        for rung in result.rung_results:
+            if rung.promoted:
+                print(
+                    f"rung {rung.rounds:>4} rounds: {len(rung.trials)} trials, "
+                    f"promoted {len(rung.promoted)}: {', '.join(rung.promoted)}"
+                )
+            else:
+                print(f"rung {rung.rounds:>4} rounds: {len(rung.trials)} trials (final)")
+        table = ComparisonResult(
+            title="Search leaderboard",
+            columns=["rank", "scenario", "system", "rounds", result.metric],
+        )
+        for rank, trial in enumerate(result.leaderboard, start=1):
+            table.add_row(rank, trial.name, trial.spec.system, trial.rounds, trial.score)
+        print(table.to_text())
+        print(
+            f"best: {result.best.name} "
+            f"({result.metric} {result.best.score:.3f} at {result.best.rounds} rounds)"
+        )
+        print(
+            f"search budget: {result.round_evaluations} round-evaluations vs "
+            f"{result.grid_round_evaluations} exhaustive grid "
+            f"({result.evaluation_fraction:.0%})"
+        )
+        if engine.store is not None:
+            print(
+                f"run store {args.store}: {engine.cache_hits} loaded, "
+                f"{engine.runs_computed} computed, "
+                f"{engine.round_evaluations} round-evaluations simulated"
+            )
+        if args.export:
+            path = save_comparison_csv(table, args.export)
+            print(f"leaderboard written to {path}")
+        return 0
+
     # sweep
     # Apply only the flags the user actually passed; a scenario file's own
     # backend/max_workers settings are otherwise preserved, and axis overrides
@@ -414,7 +539,8 @@ def main(argv: list[str] | None = None) -> int:
         hint = "" if args.resume else " (re-run with --resume to reuse them)"
         print(
             f"run store {args.store}: {engine.cache_hits} loaded, "
-            f"{engine.runs_computed} computed{hint}"
+            f"{engine.runs_computed} computed, "
+            f"{engine.round_evaluations} round-evaluations simulated{hint}"
         )
     if args.export:
         path = save_comparison_csv(table, args.export)

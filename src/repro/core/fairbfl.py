@@ -44,6 +44,7 @@ from repro.incentive.strategies import make_strategy
 from repro.nn.metrics import accuracy
 from repro.nn.models import ModelFactory
 from repro.nn.module import Module
+from repro.runner.checkpoint import CheckpointMixin
 from repro.runner.executor import ParallelExecutor
 from repro.nn.parameters import get_flat_parameters, set_flat_parameters
 from repro.sim.rounds import EventRoundSimulator, RoundTiming
@@ -53,7 +54,7 @@ from repro.utils.timer import SimulatedClock
 __all__ = ["FairBFLTrainer"]
 
 
-class FairBFLTrainer:
+class FairBFLTrainer(CheckpointMixin):
     """Runs FAIR-BFL over a federated dataset.
 
     Parameters
@@ -179,6 +180,9 @@ class FairBFLTrainer:
         self.history = TrainingHistory(label=self.label)
 
     # ------------------------------------------------------------------
+    def _checkpoint_client_map(self) -> dict:
+        return self.clients
+
     @property
     def chain(self) -> Blockchain:
         """The (replicated) ledger, viewed through the first miner."""

@@ -23,6 +23,7 @@ from repro.fl.selection import RandomSelector
 from repro.fl.server import CentralServer
 from repro.nn.models import ModelFactory
 from repro.nn.module import Module
+from repro.runner.checkpoint import CheckpointMixin
 from repro.runner.executor import ParallelExecutor
 from repro.sim.delay import DelayModel, DelayParameters
 from repro.utils.rng import new_rng
@@ -69,7 +70,7 @@ class FedAvgConfig:
         check_defense(self.defense, self.defense_fraction)
 
 
-class FedAvgTrainer:
+class FedAvgTrainer(CheckpointMixin):
     """Runs federated averaging over a :class:`~repro.datasets.federated.FederatedDataset`."""
 
     label = "fedavg"
@@ -121,6 +122,11 @@ class FedAvgTrainer:
         ]
         self._clients_by_id = {client.client_id: client for client in self.clients}
         self.executor = ParallelExecutor(config.executor_backend, config.executor_workers)
+        self.clock = SimulatedClock()
+        self.history = TrainingHistory(label=self.label)
+
+    def _checkpoint_client_map(self) -> dict:
+        return self._clients_by_id
 
     # ------------------------------------------------------------------
     def _local_config(self) -> LocalTrainingConfig:
@@ -265,13 +271,17 @@ class FedAvgTrainer:
         )
 
     def run(self, *, num_rounds: int | None = None) -> TrainingHistory:
-        """Run the configured number of rounds and return the history."""
+        """Run ``num_rounds`` *additional* rounds and return the full history.
+
+        The clock and history are instance state (continuing from where a
+        previous call — or a restored checkpoint — left off), which is what
+        makes partial runs resumable; a fresh trainer behaves exactly as
+        before.
+        """
         rounds = self.config.num_rounds if num_rounds is None else int(num_rounds)
-        clock = SimulatedClock()
-        history = TrainingHistory(label=self.label)
-        for r in range(rounds):
-            history.append(self.run_round(r, clock))
-        return history
+        for r in range(len(self.history), len(self.history) + rounds):
+            self.history.append(self.run_round(r, self.clock))
+        return self.history
 
     def test_accuracy(self) -> float:
         """Accuracy of the current global model on the held-out global test set."""

@@ -34,7 +34,8 @@ from repro.core.experiment import build_federated_dataset
 from repro.core.results import ComparisonResult, summarize_history
 from repro.datasets.federated import FederatedDataset
 from repro.fl.history import TrainingHistory
-from repro.runner.scenario import ScenarioSpec
+from repro.runner.checkpoint import CheckpointError
+from repro.runner.scenario import ScenarioError, ScenarioSpec
 from repro.systems.registry import RunResult, get_system
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -83,6 +84,12 @@ class ExperimentEngine:
         assertable.
     cache_hits:
         Number of scenarios served from the store without computation.
+    round_evaluations:
+        Total *simulated communication rounds actually computed* by this
+        engine (cache hits and checkpoint-resumed prefixes cost zero) — the
+        budget an adaptive search spends, and the quantity
+        ``benchmarks/bench_search_efficiency.py`` compares against an
+        exhaustive grid.
     """
 
     cache_datasets: bool = True
@@ -90,6 +97,7 @@ class ExperimentEngine:
     reuse_cached: bool = True
     runs_computed: int = 0
     cache_hits: int = 0
+    round_evaluations: int = 0
     _dataset_cache: dict[tuple, FederatedDataset] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
@@ -133,8 +141,98 @@ class ExperimentEngine:
         result = system.build(spec, dataset).run()
         result.history.label = spec.name
         self.runs_computed += 1
+        self.round_evaluations += len(result.history)
         if self.store is not None:
             self.store.put(spec, result)
+        return result
+
+    def run_partial(
+        self,
+        spec: ScenarioSpec,
+        rounds: int | None = None,
+        *,
+        resume_from: tuple[int, ...] = (),
+        checkpoint: bool = True,
+    ) -> RunResult:
+        """Run ``spec`` to a fidelity of ``rounds`` rounds, resuming when possible.
+
+        The partial run is a first-class record: it is stored under (and
+        served from) the content key of ``spec.with_overrides(num_rounds=rounds)``
+        — ``num_rounds`` is purely a loop bound in every trainer, so an
+        ``r``-round record is *exactly* the record a plain ``r``-round sweep
+        would produce, and rungs are shared between adaptive searches and
+        ordinary sweeps with no extra key machinery.
+
+        ``resume_from`` lists lower fidelities whose records may carry a
+        checkpoint (an ASHA rung ladder); they are tried highest-first, and a
+        hit restores the trainer's full state so only ``rounds - r`` new
+        rounds are computed (``round_evaluations`` counts exactly those).
+        With ``checkpoint=True`` (default, store attached) the finished run's
+        own resumable state is persisted for the next promotion.
+
+        Raises :class:`~repro.runner.scenario.ScenarioError` for systems
+        whose trainer does not implement the checkpoint protocol
+        (:class:`~repro.runner.checkpoint.CheckpointMixin`).
+        """
+        spec.validate()
+        target = (
+            spec
+            if rounds is None or int(rounds) == spec.num_rounds
+            else spec.with_overrides(num_rounds=int(rounds))
+        )
+        if self.store is not None and self.reuse_cached:
+            cached = self.store.get(target)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        system = get_system(target.system)
+        dataset = self.dataset_for(target) if system.capabilities.needs_dataset else None
+        runner = system.build(target, dataset)
+        trainer = getattr(runner, "trainer", None)
+        if trainer is None or not callable(getattr(trainer, "run_until", None)):
+            raise ScenarioError(
+                f"system {target.system!r} does not support partial runs: its "
+                "build() result exposes no checkpointable trainer (see "
+                "repro.runner.checkpoint.CheckpointMixin)"
+            )
+        start = 0
+        if self.store is not None and self.reuse_cached:
+            candidates = sorted(
+                {int(r) for r in resume_from if 0 < int(r) < target.num_rounds},
+                reverse=True,
+            )
+            for prior in candidates:
+                blob = self.store.get_checkpoint(target.with_overrides(num_rounds=prior))
+                if blob is None:
+                    continue
+                try:
+                    trainer.restore_state(blob)
+                except CheckpointError:
+                    continue  # stale/foreign blob: fall through to lower rungs
+                start = trainer.rounds_completed()
+                break
+        try:
+            trainer.run_until(target.num_rounds)
+            blob = (
+                trainer.checkpoint_state()
+                if checkpoint and self.store is not None
+                else None
+            )
+        finally:
+            close = getattr(trainer, "close", None)
+            if callable(close):
+                close()
+        history = trainer.history
+        history.label = spec.name
+        result = RunResult(
+            system=system.name,
+            history=history,
+            extras=dict(getattr(runner, "extras", {})),
+        )
+        self.runs_computed += 1
+        self.round_evaluations += target.num_rounds - start
+        if self.store is not None:
+            self.store.put(target, result, checkpoint=blob)
         return result
 
     def run(self, spec: ScenarioSpec) -> TrainingHistory:

@@ -520,7 +520,17 @@ def load_scenario_file(path: str | Path) -> list[ScenarioSpec]:
         except json.JSONDecodeError as exc:
             raise ScenarioError(f"invalid JSON in {p}: {exc}") from exc
     elif suffix == ".toml":
-        import tomllib
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # Python < 3.11: fall back to the tomli shim
+            try:
+                import tomli as tomllib  # type: ignore[no-redef]
+            except ModuleNotFoundError as exc:
+                raise ScenarioError(
+                    "TOML scenario files need Python >= 3.11 (stdlib tomllib) "
+                    "or the third-party 'tomli' package; alternatively use the "
+                    "equivalent .json scenario form"
+                ) from exc
 
         try:
             data = tomllib.loads(p.read_text(encoding="utf-8"))

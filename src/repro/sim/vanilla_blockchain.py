@@ -35,6 +35,7 @@ from repro.blockchain.miner import Miner
 from repro.blockchain.transaction import make_gradient_transaction
 from repro.crypto.keystore import KeyStore
 from repro.fl.history import RoundRecord, TrainingHistory
+from repro.runner.checkpoint import CheckpointMixin
 from repro.sim.delay import DelayParameters
 from repro.sim.rounds import EventRoundSimulator
 from repro.utils.rng import new_rng
@@ -87,8 +88,10 @@ class VanillaBlockchainConfig:
             raise ValueError(f"payload_elements must be positive, got {self.payload_elements}")
 
 
-class VanillaBlockchainSimulator:
+class VanillaBlockchainSimulator(CheckpointMixin):
     """Runs the vanilla-blockchain baseline and records per-round delays."""
+
+    label = "blockchain"
 
     def __init__(self, config: VanillaBlockchainConfig) -> None:
         self.config = config
@@ -118,6 +121,8 @@ class VanillaBlockchainSimulator:
         tx_bytes = config.payload_elements * 8
         self.mempool = Mempool(block_size_bytes=tx_bytes * config.delay_params.transactions_per_block)
         self.total_forks = 0
+        self.clock = SimulatedClock()
+        self.history = TrainingHistory(label=self.label)
 
     # ------------------------------------------------------------------
     def _make_round_transactions(self, round_index: int) -> list:
@@ -178,13 +183,16 @@ class VanillaBlockchainSimulator:
             },
         )
 
-    def run(self) -> TrainingHistory:
-        """Run all configured rounds and return the per-round history."""
-        clock = SimulatedClock()
-        history = TrainingHistory(label="blockchain")
-        for r in range(self.config.num_rounds):
-            history.append(self.run_round(r, clock))
-        return history
+    def run(self, *, num_rounds: int | None = None) -> TrainingHistory:
+        """Run ``num_rounds`` *additional* rounds and return the full history.
+
+        Like the FL trainers, the clock and history are instance state so a
+        restored checkpoint continues exactly where it stopped.
+        """
+        rounds = self.config.num_rounds if num_rounds is None else int(num_rounds)
+        for r in range(len(self.history), len(self.history) + rounds):
+            self.history.append(self.run_round(r, self.clock))
+        return self.history
 
     @property
     def chain_height(self) -> int:

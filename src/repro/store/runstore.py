@@ -67,6 +67,12 @@ class StoredRun:
         The JSON record file backing this run.
     created_at:
         ISO-8601 UTC timestamp of when the record was written.
+    checkpoint:
+        The trainer's resumable-state blob
+        (:meth:`repro.runner.checkpoint.CheckpointMixin.checkpoint_state`)
+        persisted alongside the run, or ``None`` — partial-rung records
+        written by :meth:`repro.runner.engine.ExperimentEngine.run_partial`
+        carry one so a promoted ASHA trial continues instead of replaying.
     """
 
     key: str
@@ -76,6 +82,7 @@ class StoredRun:
     path: Path
     created_at: str = ""
     summary_record: Mapping[str, object] = field(default_factory=dict)
+    checkpoint: bytes | None = None
 
     @property
     def summary(self) -> dict:
@@ -119,6 +126,13 @@ class RunStore:
     def __init__(self, root: str | Path = DEFAULT_STORE_ROOT, *, compress: bool = False):
         self.root = Path(root)
         self.compress = bool(compress)
+        #: Lazily-built set of record keys under the root.  ``keys()`` (and
+        #: therefore ``runs()``/``query()``) would otherwise rescan the 2-hex
+        #: shard directories on every call; the index is built on first use,
+        #: updated incrementally by :meth:`put`, and invalidated by
+        #: :meth:`gc`/:meth:`refresh_index` (external writers are only picked
+        #: up after a refresh).
+        self._key_index: set[str] | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"RunStore(root={str(self.root)!r}, compress={self.compress})"
@@ -137,12 +151,25 @@ class RunStore:
         return self.path_for(self.key_for(spec)).exists()
 
     # -- writing --------------------------------------------------------
-    def put(self, spec: ScenarioSpec, result: RunResult, *, overwrite: bool = True) -> StoredRun:
+    def put(
+        self,
+        spec: ScenarioSpec,
+        result: RunResult,
+        *,
+        overwrite: bool = True,
+        checkpoint: bytes | None = None,
+    ) -> StoredRun:
         """Persist ``result`` under ``spec``'s content key and return the entry.
 
         With ``overwrite=False`` an existing record is left untouched (the
         stored entry is returned instead) — identical inputs produce
         identical histories, so rewriting is never required for correctness.
+
+        ``checkpoint`` attaches a trainer resumable-state blob to the record
+        (stored as a ``uint8`` array in the ``.npz`` sidecar, which the
+        existing orphan-sidecar ``gc`` already covers); partial-rung records
+        use this so a later, higher-fidelity run continues from round ``r``
+        instead of replaying it.
         """
         key = self.key_for(spec)
         path = self.path_for(key)
@@ -154,13 +181,24 @@ class RunStore:
             len(r.participants) + len(r.discarded) + len(r.attackers)
             for r in history.rounds
         )
-        use_sidecar = self.compress or total_members >= self.OFFLOAD_TOTAL_THRESHOLD
+        use_sidecar = (
+            self.compress
+            or total_members >= self.OFFLOAD_TOTAL_THRESHOLD
+            or checkpoint is not None
+        )
         offload: dict | None = {} if use_sidecar else None
         payload = run_record_payload(
             spec, result, key=key, fingerprint=fingerprint, offload=offload
         )
         arrays_path = path.with_suffix(".npz")
         if use_sidecar:
+            extra_arrays = dict(offload or {})
+            if checkpoint is not None:
+                extra_arrays["checkpoint"] = np.frombuffer(checkpoint, dtype=np.uint8)
+                payload["checkpoint"] = {
+                    "rounds": len(history),
+                    "bytes": len(checkpoint),
+                }
             # Written atomically and *before* the JSON record, so a record
             # never advertises arrays that do not exist; a kill in between
             # leaves an orphan .npz that gc() reclaims.
@@ -175,13 +213,15 @@ class RunStore:
                     train_losses=np.array(
                         [r.train_loss for r in history.rounds], dtype=np.float64
                     ),
-                    **(offload or {}),
+                    **extra_arrays,
                 )
             os.replace(tmp, arrays_path)
             payload["arrays"] = arrays_path.name
         else:
             arrays_path.unlink(missing_ok=True)  # drop a stale sidecar on rewrite
         write_json_record(path, payload, kind="run")
+        if self._key_index is not None:
+            self._key_index.add(key)
         return StoredRun(
             key=key,
             spec=spec,
@@ -190,6 +230,7 @@ class RunStore:
             path=path,
             created_at=str(payload["created_at"]),
             summary_record=dict(payload["summary"]),
+            checkpoint=checkpoint,
         )
 
     # -- reading --------------------------------------------------------
@@ -208,6 +249,20 @@ class RunStore:
             return None
         stored.result.history.label = spec.name
         return stored.result
+
+    def get_checkpoint(self, spec: ScenarioSpec) -> bytes | None:
+        """The resumable-state blob stored with ``spec``'s record, if any.
+
+        ``None`` on a store miss *or* when the record was written without a
+        checkpoint (e.g. by a plain sweep) — resume paths fall back to
+        computing from scratch in both cases.
+        """
+        key = self.key_for(spec)
+        try:
+            stored = self.load(key)
+        except RunStoreError:
+            return None
+        return stored.checkpoint
 
     def load(self, key: str) -> StoredRun:
         """Load the record stored under ``key`` (raising :class:`RunStoreError`)."""
@@ -250,6 +305,9 @@ class RunStore:
             history=history,
             extras=dict(record.get("extras", {})),
         )
+        checkpoint: bytes | None = None
+        if record.get("checkpoint") and arrays is not None and "checkpoint" in arrays:
+            checkpoint = bytes(np.asarray(arrays["checkpoint"], dtype=np.uint8).tobytes())
         return StoredRun(
             key=str(record.get("key", path.stem)),
             spec=spec,
@@ -258,12 +316,28 @@ class RunStore:
             path=path,
             created_at=str(record.get("created_at", "")),
             summary_record=dict(record.get("summary") or {}),
+            checkpoint=checkpoint,
         )
 
     # -- querying -------------------------------------------------------
+    def _index(self) -> set[str]:
+        """The in-memory key index, scanning the shard directories on first use."""
+        if self._key_index is None:
+            self._key_index = {p.stem for p in self.root.glob("??/*.json")}
+        return self._key_index
+
+    def refresh_index(self) -> None:
+        """Drop the in-memory key index (next ``keys()`` rescans the shards).
+
+        Only needed when another process wrote records after this store
+        instance first enumerated them; this store's own :meth:`put`/:meth:`gc`
+        keep the index current.
+        """
+        self._key_index = None
+
     def keys(self) -> tuple[str, ...]:
-        """Every record key under the root, sorted."""
-        return tuple(sorted(p.stem for p in self.root.glob("??/*.json")))
+        """Every record key under the root, sorted (served from the index)."""
+        return tuple(sorted(self._index()))
 
     def runs(self) -> list[StoredRun]:
         """Every *loadable* record, sorted by (system, scenario name, key).
@@ -341,6 +415,8 @@ class RunStore:
                 removed.append(arrays_path.stem)
                 if not dry_run:
                     arrays_path.unlink(missing_ok=True)
+        if removed and not dry_run:
+            self._key_index = None  # invalidate; next keys() rescans
         return tuple(removed)
 
     @staticmethod

@@ -1,0 +1,290 @@
+"""Tests for partial-run checkpointing (`repro.runner.checkpoint`).
+
+The contract under test is **bit-identical resumption**: a run stopped at
+round ``r`` and continued to round ``R`` through
+:meth:`~repro.runner.engine.ExperimentEngine.run_partial` must produce
+exactly the history — every accuracy, delay, reward map, and extras
+diagnostic — of an uninterrupted ``R``-round run, across all four executor
+backends.  That only holds if the checkpoint blob captures *every* piece of
+trainer state a later round reads: model parameters, per-client RNG streams,
+the kernel's simulated clock, detection/reward accounting, and FedProx's
+straggler-drop selection stream.
+
+Also covered: the checkpoint's validation guards (foreign blobs are rejected
+as :class:`~repro.runner.checkpoint.CheckpointError`, which the engine treats
+as a miss), the store-side plumbing (checkpoints ride the ``.npz`` sidecar
+and are reclaimed by the existing ``gc`` orphan sweep), and the key-index
+satellite (built on first use, maintained by ``put``, invalidated by ``gc``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.checkpoint import CheckpointError, CheckpointMixin
+from repro.runner.engine import ExperimentEngine
+from repro.runner.executor import EXECUTOR_BACKENDS
+from repro.runner.scenario import ScenarioError, ScenarioSpec
+from repro.store import RunStore
+from repro.store.records import history_to_payload, json_sanitize
+from repro.systems.registry import get_system
+
+SMALL = dict(num_clients=6, num_samples=240, num_rounds=6, seed=3)
+
+
+def small_spec(system: str = "fairbfl", **overrides) -> ScenarioSpec:
+    return ScenarioSpec(**{"system": system, "name": "ckpt", **SMALL, **overrides})
+
+
+def canonical(result) -> str:
+    """Byte-comparable rendering of a run (history minus the label + extras)."""
+    payload = history_to_payload(result.history)
+    payload.pop("label", None)
+    payload["run_extras"] = json_sanitize(dict(result.extras))
+    return json.dumps(payload, sort_keys=True)
+
+
+def straight_run(spec: ScenarioSpec):
+    """The uninterrupted reference run (no store, no checkpointing)."""
+    return ExperimentEngine().run_partial(spec, checkpoint=False)
+
+
+class TestResumeParity:
+    @pytest.mark.parametrize("backend", sorted(EXECUTOR_BACKENDS))
+    def test_stop_and_resume_is_bit_identical_per_backend(self, backend, tmp_path):
+        spec = small_spec(backend=backend, max_workers=2)
+        reference = straight_run(spec)
+        engine = ExperimentEngine(store=RunStore(tmp_path), reuse_cached=True)
+        engine.run_partial(spec, 3)  # stop at the rung boundary...
+        resumed = engine.run_partial(spec, 6, resume_from=(3,))  # ...and continue
+        assert canonical(resumed) == canonical(reference)
+        # Only the 3 new rounds were computed on the second call.
+        assert engine.round_evaluations == 6
+        assert engine.runs_computed == 2
+
+    @pytest.mark.parametrize("system", ["fairbfl", "fairbfl-discard", "fedavg"])
+    def test_parity_across_checkpointable_systems(self, system, tmp_path):
+        spec = small_spec(system)
+        reference = straight_run(spec)
+        engine = ExperimentEngine(store=RunStore(tmp_path), reuse_cached=True)
+        engine.run_partial(spec, 2)
+        resumed = engine.run_partial(spec, 6, resume_from=(2,))
+        assert canonical(resumed) == canonical(reference)
+
+    def test_fedprox_selection_stream_survives_checkpointing(self, tmp_path):
+        # FedProx draws from a private straggler-drop RNG every round; a
+        # checkpoint that lost that stream's position would still produce a
+        # *plausible* history — just not the uninterrupted one.
+        spec = small_spec("fedprox", drop_percent=0.25, seed=11)
+        reference = straight_run(spec)
+        engine = ExperimentEngine(store=RunStore(tmp_path), reuse_cached=True)
+        engine.run_partial(spec, 2)
+        engine.run_partial(spec, 4, resume_from=(2,))
+        resumed = engine.run_partial(spec, 6, resume_from=(2, 4))
+        assert canonical(resumed) == canonical(reference)
+
+    def test_blockchain_simulator_checkpoints_too(self, tmp_path):
+        spec = ScenarioSpec(system="blockchain", name="bc", num_clients=5, num_rounds=6, seed=2)
+        reference = straight_run(spec)
+        engine = ExperimentEngine(store=RunStore(tmp_path), reuse_cached=True)
+        engine.run_partial(spec, 3)
+        resumed = engine.run_partial(spec, 6, resume_from=(3,))
+        assert canonical(resumed) == canonical(reference)
+
+    def test_resume_tries_highest_rung_first(self, tmp_path):
+        spec = small_spec()
+        engine = ExperimentEngine(store=RunStore(tmp_path), reuse_cached=True)
+        engine.run_partial(spec, 2)
+        engine.run_partial(spec, 4, resume_from=(2,))
+        assert engine.round_evaluations == 4
+        engine.run_partial(spec, 6, resume_from=(2, 4))
+        # 2 + 2 + 2 rounds computed in total: the last call resumed from the
+        # 4-round checkpoint, not the 2-round one.
+        assert engine.round_evaluations == 6
+
+    def test_checkpointless_record_is_a_graceful_miss(self, tmp_path):
+        # A plain sweep's record has no checkpoint: resume_from pointing at it
+        # must fall back to computing from scratch, bit-identically.
+        spec = small_spec()
+        store = RunStore(tmp_path)
+        engine = ExperimentEngine(store=store, reuse_cached=True)
+        prior = spec.with_overrides(num_rounds=3)
+        store.put(prior, ExperimentEngine().run_partial(prior, checkpoint=False))
+        assert store.get_checkpoint(prior) is None
+        resumed = engine.run_partial(spec, 6, resume_from=(3,))
+        assert canonical(resumed) == canonical(straight_run(spec))
+        assert engine.round_evaluations == 6  # no prefix was reusable
+
+
+class TestCheckpointGuards:
+    def _trainer(self, spec: ScenarioSpec):
+        system = get_system(spec.system)
+        dataset = ExperimentEngine().dataset_for(spec)
+        return system.build(spec, dataset).trainer
+
+    def test_foreign_trainer_blob_is_rejected(self):
+        fedavg = self._trainer(small_spec("fedavg"))
+        fedavg.run(num_rounds=2)
+        fairbfl = self._trainer(small_spec("fairbfl"))
+        with pytest.raises(CheckpointError, match="written by"):
+            fairbfl.restore_state(fedavg.checkpoint_state())
+
+    def test_population_mismatch_is_rejected(self):
+        donor = self._trainer(small_spec())
+        donor.run(num_rounds=1)
+        other = self._trainer(small_spec(num_clients=8))
+        with pytest.raises(CheckpointError, match="client"):
+            other.restore_state(donor.checkpoint_state())
+
+    def test_run_until_refuses_to_rewind(self):
+        trainer = self._trainer(small_spec())
+        trainer.run(num_rounds=3)
+        with pytest.raises(CheckpointError, match="already"):
+            trainer.run_until(2)
+
+    def test_run_until_is_idempotent_at_target(self):
+        trainer = self._trainer(small_spec())
+        trainer.run_until(3)
+        history = trainer.run_until(3)
+        assert len(history) == 3
+
+    def test_corrupt_blob_is_rejected(self):
+        trainer = self._trainer(small_spec())
+        with pytest.raises(CheckpointError):
+            trainer.restore_state(b"not a pickle")
+
+    def test_engine_rejects_uncheckpointable_systems(self, toy_system_no_trainer):
+        engine = ExperimentEngine()
+        with pytest.raises(ScenarioError, match="partial runs"):
+            engine.run_partial(ScenarioSpec(system="toy-flat", num_rounds=2), 1)
+
+    def test_mixin_exclusions_documented_state_only(self):
+        # The exclusion list is load-bearing: anything listed is rebuilt by
+        # system.build(), everything else must pickle.
+        assert "dataset" in CheckpointMixin.CHECKPOINT_EXCLUDE
+        assert "executor" in CheckpointMixin.CHECKPOINT_EXCLUDE
+
+
+@pytest.fixture
+def toy_system_no_trainer():
+    from repro.fl.history import RoundRecord, TrainingHistory
+    from repro.systems.registry import (
+        RunResult,
+        System,
+        SystemCapabilities,
+        register_system,
+        unregister_system,
+    )
+
+    class FlatRun:
+        def __init__(self, rounds: int) -> None:
+            self.rounds = rounds
+
+        def run(self) -> RunResult:
+            history = TrainingHistory(label="flat")
+            for r in range(self.rounds):
+                history.append(RoundRecord(round_index=r, delay=1.0, accuracy=0.5))
+            return RunResult(system="toy-flat", history=history)
+
+    class FlatSystem(System):
+        name = "toy-flat"
+        description = "no trainer attribute: not checkpointable"
+        capabilities = SystemCapabilities(needs_dataset=False)
+
+        def build(self, spec, dataset):
+            return FlatRun(spec.num_rounds)
+
+    register_system(FlatSystem())
+    try:
+        yield
+    finally:
+        unregister_system("toy-flat")
+
+
+class TestStorePlumbing:
+    def test_checkpoint_rides_the_npz_sidecar(self, tmp_path):
+        spec = small_spec()
+        store = RunStore(tmp_path)
+        engine = ExperimentEngine(store=store, reuse_cached=True)
+        stored = engine.run_partial(spec, 3)
+        assert stored is not None
+        path = store.path_for(store.key_for(spec.with_overrides(num_rounds=3)))
+        assert path.exists() and path.with_suffix(".npz").exists()
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["checkpoint"]["rounds"] == 3
+        assert record["checkpoint"]["bytes"] > 0
+        blob = store.get_checkpoint(spec.with_overrides(num_rounds=3))
+        assert isinstance(blob, bytes) and len(blob) == record["checkpoint"]["bytes"]
+
+    def test_rung_record_is_the_plain_sweep_record(self, tmp_path):
+        # Fidelity lives in the existing key semantics: the 3-round rung
+        # record answers a plain `num_rounds=3` sweep lookup directly.
+        spec = small_spec()
+        store = RunStore(tmp_path)
+        ExperimentEngine(store=store, reuse_cached=True).run_partial(spec, 3)
+        sweep_engine = ExperimentEngine(store=store, reuse_cached=True)
+        history = sweep_engine.run(spec.with_overrides(num_rounds=3))
+        assert sweep_engine.cache_hits == 1 and sweep_engine.runs_computed == 0
+        assert len(history) == 3
+
+    def test_gc_reclaims_orphaned_partial_rung_sidecars(self, tmp_path):
+        spec = small_spec()
+        store = RunStore(tmp_path)
+        ExperimentEngine(store=store, reuse_cached=True).run_partial(spec, 3)
+        key = store.key_for(spec.with_overrides(num_rounds=3))
+        json_path = store.path_for(key)
+        json_path.unlink()  # simulate a kill between sidecar and record write
+        assert json_path.with_suffix(".npz").exists()
+        removed = store.gc()
+        assert key in removed
+        assert not json_path.with_suffix(".npz").exists()
+
+    def test_gc_reclaims_stale_partial_rung_records(self, tmp_path):
+        spec = small_spec()
+        store = RunStore(tmp_path)
+        ExperimentEngine(store=store, reuse_cached=True).run_partial(spec, 3)
+        key = store.key_for(spec.with_overrides(num_rounds=3))
+        path = store.path_for(key)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["spec"]["seed"] = 999  # content no longer matches its address
+        path.write_text(json.dumps(record), encoding="utf-8")
+        removed = store.gc()
+        assert key in removed
+        assert not path.exists() and not path.with_suffix(".npz").exists()
+
+
+class TestKeyIndex:
+    def test_index_built_on_first_use_and_updated_by_put(self, tmp_path):
+        spec = ScenarioSpec(system="blockchain", name="idx", num_clients=5, num_rounds=2)
+        store = RunStore(tmp_path)
+        assert store._key_index is None
+        assert store.keys() == ()
+        assert store._key_index is not None
+        result = ExperimentEngine().run_partial(spec, checkpoint=False)
+        store.put(spec, result)
+        # No rescan needed: put() maintained the live index.
+        assert store.keys() == (store.key_for(spec),)
+        assert store.query(system="blockchain")[0].key == store.key_for(spec)
+
+    def test_gc_invalidates_index(self, tmp_path):
+        spec = ScenarioSpec(system="blockchain", name="idx", num_clients=5, num_rounds=2)
+        store = RunStore(tmp_path)
+        store.put(spec, ExperimentEngine().run_partial(spec, checkpoint=False))
+        assert len(store.keys()) == 1
+        path = store.path_for(store.key_for(spec))
+        path.write_text("corrupt", encoding="utf-8")
+        assert store.gc()
+        assert store._key_index is None
+        assert store.keys() == ()
+
+    def test_refresh_index_picks_up_external_writers(self, tmp_path):
+        spec = ScenarioSpec(system="blockchain", name="idx", num_clients=5, num_rounds=2)
+        reader = RunStore(tmp_path)
+        assert reader.keys() == ()
+        writer = RunStore(tmp_path)  # a "different process"
+        writer.put(spec, ExperimentEngine().run_partial(spec, checkpoint=False))
+        assert reader.keys() == ()  # stale by design...
+        reader.refresh_index()
+        assert reader.keys() == (reader.key_for(spec),)  # ...until refreshed

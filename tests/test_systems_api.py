@@ -61,6 +61,7 @@ PINNED_API = [
     "ScenarioMatrix",
     "ScenarioResult",
     "ScenarioSpec",
+    "SearchResult",
     "StoredRun",
     "System",
     "SystemCapabilities",
@@ -73,6 +74,7 @@ PINNED_API = [
     "register_system",
     "report",
     "run",
+    "search",
     "spec_key",
     "sweep",
     "unregister_system",

@@ -25,7 +25,11 @@ Fails (exit code 1) when the documentation has drifted from the code:
    reproduces;
 9. a name in ``repro.api.__all__`` is missing from ``docs/api.md`` or lacks
    a docstring — the stable facade must stay fully referenced and
-   self-describing.
+   self-describing;
+10. a ``repro`` CLI subcommand is mentioned in neither the README quickstart
+    nor ``docs/api.md`` — every verb the parser accepts must have at least
+    one discoverable usage reference (``repro <verb>`` or
+    ``repro.cli <verb>``).
 
 Run from the repository root:
 
@@ -243,6 +247,42 @@ def check_api_reference() -> list[str]:
     return problems
 
 
+def check_cli_subcommand_docs() -> list[str]:
+    """Every CLI subcommand must appear in README.md or docs/api.md usage text.
+
+    The flag-level snapshot (check 7) proves the help text is fresh; this
+    check proves each *verb* is discoverable — somewhere a user actually
+    reads, a ``repro <verb>`` (or ``python -m repro.cli <verb>``) invocation
+    must exist.  Adding a subcommand without documenting how to call it
+    fails here.
+    """
+    _ensure_importable()
+    import argparse
+
+    from repro.cli import build_parser
+
+    sources = []
+    for rel in ("README.md", "docs/api.md"):
+        path = REPO_ROOT / rel
+        if path.exists():
+            sources.append(path.read_text(encoding="utf-8"))
+    text = "\n".join(sources)
+
+    commands: list[str] = []
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            commands.extend(action.choices)
+
+    problems = []
+    for command in sorted(set(commands)):
+        if not re.search(rf"\brepro(?:\.cli)?\s+{re.escape(command)}\b", text):
+            problems.append(
+                f"CLI subcommand {command!r} is not shown in README.md or docs/api.md "
+                f"(add a 'repro {command}' usage example)"
+            )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_module_docstrings()
@@ -254,6 +294,7 @@ def main() -> int:
         + check_cli_flag_coverage()
         + check_benchmark_docs()
         + check_api_reference()
+        + check_cli_subcommand_docs()
     )
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
