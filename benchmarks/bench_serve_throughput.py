@@ -1,0 +1,193 @@
+"""Serving throughput: single-flight dedup and stored-run latency.
+
+The experiment service's two quantitative promises, measured against a real
+HTTP server on an ephemeral port:
+
+* **exactly-once under contention** — :data:`CONCURRENT_SUBMITTERS` clients
+  submitting the *same* scenario at the same instant trigger exactly one
+  computation; everyone else collapses onto the in-flight job (single-flight)
+  or reads the finished record through the store;
+* **sub-millisecond reads** — once a run is stored, ``GET /v1/results/<key>``
+  over a keep-alive connection answers from the rendered-payload cache with a
+  median latency under :data:`LATENCY_BUDGET_MS` (the record is
+  content-addressed and immutable, so the byte cache can never be stale).
+
+The smoke tier boots an ephemeral server and does one submit/status/result
+round-trip; the full measurement runs via
+``pytest benchmarks/bench_serve_throughput.py`` or ``REPRO_FULL_BENCH=1``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import statistics
+import threading
+import time
+
+import pytest
+
+from benchmarks.conftest import emit, emit_json
+from repro import api
+from repro.core.results import ComparisonResult
+from repro.runner.scenario import ScenarioSpec
+from repro.serve.client import ServeClient
+
+#: Identical submissions racing for one computation.
+CONCURRENT_SUBMITTERS = 8
+#: Median stored-run GET latency bound, in milliseconds.
+LATENCY_BUDGET_MS = 1.0
+#: Latency sample count (after warm-up) for the median.
+LATENCY_SAMPLES = 200
+WATCHDOG_S = 120.0
+
+
+def _spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="serve-throughput",
+        system="fedavg",
+        num_clients=6,
+        num_samples=300,
+        num_rounds=2,
+        seed=3,
+    )
+
+
+def _timed_get(conn: http.client.HTTPConnection, path: str) -> tuple[float, bytes]:
+    """One keep-alive GET; returns (seconds, body)."""
+    start = time.perf_counter()
+    conn.request("GET", path)
+    response = conn.getresponse()
+    body = response.read()
+    elapsed = time.perf_counter() - start
+    assert response.status == 200, f"GET {path} -> {response.status}"
+    return elapsed, body
+
+
+def test_serve_throughput(benchmark, tmp_path):
+    spec = _spec()
+
+    def _run():
+        with api.serve(workers=2, store=tmp_path / "store") as server:
+            # -- exactly-once under contention ---------------------------
+            barrier = threading.Barrier(CONCURRENT_SUBMITTERS)
+            finals: list[dict] = []
+            errors: list[BaseException] = []
+
+            def submitter() -> None:
+                client = ServeClient(server.url)
+                try:
+                    barrier.wait(timeout=WATCHDOG_S)
+                    job = client.submit(spec)[0]
+                    finals.append(client.wait(job["job_id"], timeout=WATCHDOG_S))
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=submitter, daemon=True)
+                for _ in range(CONCURRENT_SUBMITTERS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(WATCHDOG_S)
+            assert not errors, f"submitters failed: {errors}"
+            health = ServeClient(server.url).health()
+
+            # -- stored-run read latency ---------------------------------
+            key = finals[0]["result_key"]
+            conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+            try:
+                for _ in range(20):  # warm the connection and the byte cache
+                    _timed_get(conn, f"/v1/results/{key}")
+                samples = [
+                    _timed_get(conn, f"/v1/results/{key}")[0]
+                    for _ in range(LATENCY_SAMPLES)
+                ]
+                _, body = _timed_get(conn, f"/v1/results/{key}")
+            finally:
+                conn.close()
+            record = json.loads(body.decode("utf-8"))
+        return finals, health, samples, record
+
+    finals, health, samples, record = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    median_ms = statistics.median(samples) * 1000.0
+    p99_ms = sorted(samples)[int(0.99 * (len(samples) - 1))] * 1000.0
+
+    table = ComparisonResult(
+        title="Serving throughput -- single-flight dedup and stored-run latency",
+        columns=["metric", "value"],
+    )
+    table.add_row("concurrent identical submitters", CONCURRENT_SUBMITTERS)
+    table.add_row("runs computed", health["engine"]["runs_computed"])
+    table.add_row("singleflight + readthrough hits",
+                  health["singleflight_hits"] + health["readthrough_hits"])
+    table.add_row("median stored-run GET (ms)", round(median_ms, 4))
+    table.add_row("p99 stored-run GET (ms)", round(p99_ms, 4))
+    emit(table, "serve_throughput.txt")
+    emit_json(
+        "serve_throughput",
+        config={
+            "concurrent_submitters": CONCURRENT_SUBMITTERS,
+            "latency_budget_ms": LATENCY_BUDGET_MS,
+            "latency_samples": LATENCY_SAMPLES,
+            "workers": 2,
+        },
+        measurements=[
+            {
+                "label": "dedup",
+                "runs_computed": health["engine"]["runs_computed"],
+                "singleflight_hits": health["singleflight_hits"],
+                "readthrough_hits": health["readthrough_hits"],
+            },
+            {
+                "label": "stored_run_get",
+                "median_ms": median_ms,
+                "p99_ms": p99_ms,
+                "samples": len(samples),
+            },
+        ],
+        notes=[
+            "latency measured over one keep-alive HTTP/1.1 connection on loopback",
+            "results served from the content-addressed byte cache (immutable records)",
+        ],
+        specs=[_spec()],
+    )
+
+    # Exactly one computation: the other 7 submissions deduped or read through.
+    assert health["engine"]["runs_computed"] == 1, (
+        f"{CONCURRENT_SUBMITTERS} identical submissions computed "
+        f"{health['engine']['runs_computed']} times; expected exactly 1"
+    )
+    assert health["singleflight_hits"] + health["readthrough_hits"] == (
+        CONCURRENT_SUBMITTERS - 1
+    )
+    assert all(f["state"] == "done" for f in finals)
+    assert len({f["result_key"] for f in finals}) == 1
+
+    # Stored-run reads are sub-millisecond at the median.
+    assert median_ms < LATENCY_BUDGET_MS, (
+        f"median stored-run GET latency {median_ms:.3f} ms over the "
+        f"{LATENCY_BUDGET_MS} ms budget"
+    )
+
+    # The served record is the full-fidelity content-addressed form.
+    assert record["key"] == finals[0]["result_key"]
+    assert len(record["history"]["rounds"]) == _spec().num_rounds
+
+
+@pytest.mark.smoke
+def test_serve_round_trip_smoke(tmp_path):
+    """Fast structural pass: boot, submit, poll, fetch, health — one of each."""
+    with api.serve(workers=1, store=tmp_path / "store") as server:
+        client = ServeClient(server.url)
+        job = client.submit(_spec())[0]
+        final = client.wait(job["job_id"], timeout=WATCHDOG_S)
+        assert final["state"] == "done"
+        record = client.result(final["result_key"])
+        assert record["key"] == final["result_key"]
+        history = client.history(final["result_key"])
+        assert len(history.accuracies) == _spec().num_rounds
+        health = client.health()
+        assert health["status"] == "ok" and health["queue_depth"] == 0

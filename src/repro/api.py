@@ -2,7 +2,7 @@
 
 ``repro.api`` is the one import that benchmarks, the CLI, notebooks, and
 downstream scripts should reach for.  It re-exports the declarative scenario
-layer and the system registry, and adds seven verbs:
+layer and the system registry, and adds nine verbs:
 
 * :func:`run` — execute one scenario (spec, mapping, or system name plus
   field overrides) and return its :class:`~repro.fl.history.TrainingHistory`;
@@ -18,7 +18,12 @@ layer and the system registry, and adds seven verbs:
 * :func:`list_systems` — the registered system names (CLI choices, sweep
   axes, and docs derive from the same list);
 * :func:`report` — tabulate a content-addressed :class:`RunStore` into the
-  paper-style summary table without re-running anything.
+  paper-style summary table without re-running anything;
+* :func:`serve` — boot the long-running experiment service (HTTP/JSON job
+  queue with worker pool and single-flight dedup over the run store — see
+  ``docs/serve.md``) and return the running server;
+* :func:`submit` — send one scenario to a running server (``repro serve``
+  or :func:`serve`) and, by default, wait for its bit-identical history.
 
 ``run``/``sweep``/``compare``/``search`` accept an opt-in ``cache`` argument:
 ``cache="store"`` persists every run under its content key in the default
@@ -64,6 +69,8 @@ from repro.runner.scenario import (
     scenarios_from_mapping,
 )
 from repro.search import SearchResult, run_search
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer
 from repro.store.keys import spec_key
 from repro.store.report import report_table
 from repro.store.runstore import RunStore, StoredRun
@@ -82,6 +89,7 @@ from repro.systems import (
 __all__ = [  # pinned by tests/test_systems_api.py::test_public_api_snapshot
     "ComparisonResult",
     "ExperimentEngine",
+    "ReproServer",
     "RunResult",
     "RunStore",
     "ScenarioError",
@@ -89,6 +97,7 @@ __all__ = [  # pinned by tests/test_systems_api.py::test_public_api_snapshot
     "ScenarioResult",
     "ScenarioSpec",
     "SearchResult",
+    "ServeClient",
     "StoredRun",
     "System",
     "SystemCapabilities",
@@ -102,7 +111,9 @@ __all__ = [  # pinned by tests/test_systems_api.py::test_public_api_snapshot
     "report",
     "run",
     "search",
+    "serve",
     "spec_key",
+    "submit",
     "sweep",
     "unregister_system",
 ]
@@ -362,3 +373,59 @@ def report(
     if not isinstance(store, RunStore):
         store = RunStore() if store is None else RunStore(store)
     return report_table(store, systems=tuple(systems) if systems is not None else None, title=title)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    workers: int = 2,
+    store="store",
+    isolation: str = "thread",
+    max_retries: int = 1,
+) -> ReproServer:
+    """Boot the experiment service and return the running server.
+
+    The server wraps a shared :class:`ExperimentEngine` and a
+    content-addressed :class:`RunStore` behind an HTTP/JSON job queue:
+    submissions of already-stored runs answer read-through without
+    computing, concurrent identical submissions collapse single-flight into
+    one computation, and ``workers`` workers drain the rest (``isolation=
+    "process"`` runs each job in a supervised child process, retried up to
+    ``max_retries`` times if the child dies).  ``port=0`` binds an ephemeral
+    port; read it back from ``server.port`` / ``server.url``.  ``store``
+    follows the ``cache`` convention (``"store"``, a path, or a
+    :class:`RunStore`).  The server is a context manager; ``close()`` shuts
+    it down.  See ``docs/serve.md`` for the endpoint reference.
+    """
+    server = ReproServer(
+        host,
+        port,
+        store=_resolve_store(store),
+        workers=workers,
+        isolation=isolation,
+        max_retries=max_retries,
+    )
+    return server.start()
+
+
+def submit(
+    target=None, *, server, wait: bool = True, timeout: float = 120.0, **fields
+):
+    """Send one scenario to a running experiment server.
+
+    ``target`` and ``fields`` are interpreted exactly like :func:`run`
+    (spec, mapping, or system name plus overrides); ``server`` is a base URL
+    (``"http://127.0.0.1:8731"``) or a :class:`ReproServer`.  With
+    ``wait=True`` (default) this blocks until the job finishes and returns
+    its :class:`TrainingHistory` — bit-identical to running the same spec
+    locally.  With ``wait=False`` it returns the submission's job payload
+    (``job_id``, ``spec_key``, state) immediately; poll or cancel it through
+    :class:`ServeClient`.
+    """
+    spec = _as_spec(target, fields)
+    base_url = server.url if isinstance(server, ReproServer) else str(server)
+    client = ServeClient(base_url)
+    if not wait:
+        return client.submit(spec)[0]
+    return client.run(spec, timeout=timeout)

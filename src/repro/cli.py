@@ -15,6 +15,9 @@ Run the reproduced systems without writing any Python:
    python -m repro.cli search --scenario scenarios/example_search.toml
    python -m repro.cli search --scenario scenarios/example_search.toml --metric delay --eta 2
    python -m repro.cli report --markdown summary.md
+   python -m repro.cli serve --port 8731 --workers 2
+   python -m repro.cli run fairbfl --server http://127.0.0.1:8731
+   python -m repro.cli sweep --scenario scenarios/example_sweep.toml --server http://127.0.0.1:8731
    python -m repro.cli --plugins examples/custom_system.py run fedavg-momentum
 
 ``run`` executes one system and prints its per-round series and summary;
@@ -25,7 +28,12 @@ Figure-4-style comparison; ``sweep`` expands a JSON/TOML scenario file
 expansion *adaptively* (ASHA successive halving: low-fidelity rungs, top
 ``1/eta`` promoted, survivors resumed from stored checkpoints — see
 ``docs/search.md``); ``report`` summarises the runs persisted in the
-content-addressed store without re-running anything.
+content-addressed store without re-running anything; ``serve`` boots the
+long-running experiment service (HTTP/JSON job queue over the run store —
+``docs/serve.md``), and ``run --server URL`` / ``sweep --server URL`` turn
+those subcommands into thin clients of it: the scenario is submitted to the
+daemon, progress is polled, and the printed history is bit-identical to a
+local run.
 
 ``sweep`` persists every completed grid point to the run store
 (``results/store/`` by default, ``--store`` to relocate) as it goes, so a
@@ -61,6 +69,7 @@ overrides apply each flag to the systems that can honour it.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 from repro import api
@@ -71,9 +80,16 @@ from repro.search import PROMOTION_METRICS
 from repro.fl.robust import DEFENSES
 from repro.runner.executor import EXECUTOR_BACKENDS
 from repro.runner.scenario import ScenarioError
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.workers import ISOLATION_MODES
 from repro.sim.rounds import ROUND_MODES
 from repro.store import DEFAULT_STORE_ROOT, save_markdown
-from repro.systems import SystemRegistryError, load_plugins, system_names
+from repro.systems import (
+    SystemRegistryError,
+    filter_unsupported_axes,
+    load_plugins,
+    system_names,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -184,9 +200,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker count for the thread/process backends (default: CPU count)",
         )
 
+    def add_server(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--server",
+            default=None,
+            metavar="URL",
+            help="submit to a running experiment server (repro serve) instead of "
+            "computing locally; histories are bit-identical either way",
+        )
+
     run_p = sub.add_parser("run", help="run a single registered system")
     run_p.add_argument("system", choices=list(system_names()))
     add_common(run_p)
+    add_server(run_p)
 
     cmp_p = sub.add_parser("compare", help="run every registered system on the same workload")
     add_common(cmp_p)
@@ -231,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="neither read nor write the run store; recompute everything",
     )
+    add_server(sweep_p)
 
     search_p = sub.add_parser(
         "search",
@@ -304,6 +331,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_p.add_argument(
         "--markdown", default=None, help="write the summary as a Markdown table to this file"
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve experiments over HTTP: job queue, worker pool, dedup (docs/serve.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument(
+        "--port", type=int, default=8731, help="bind port (0 picks an ephemeral port)"
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=2, help="workers draining the job queue"
+    )
+    serve_p.add_argument(
+        "--isolation",
+        default="thread",
+        choices=list(ISOLATION_MODES),
+        help="job execution: inline in a worker thread, or one supervised "
+        "child process per job (crash-isolated, retried)",
+    )
+    serve_p.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="requeues granted to a job whose worker process died (process isolation)",
+    )
+    serve_p.add_argument(
+        "--store",
+        default=str(DEFAULT_STORE_ROOT),
+        metavar="DIR",
+        help="content-addressed run store results are served from and persisted to",
     )
     return parser
 
@@ -386,6 +444,49 @@ def _print_history(name: str, hist) -> None:
     )
 
 
+def _remote_sweep(server_url: str, sources, overrides) -> tuple[ComparisonResult, dict]:
+    """Run a sweep as a thin client of a running experiment server.
+
+    The scenario files expand locally (same capability-gated override rules
+    as a local sweep), every grid point is submitted up front so the server
+    pipelines them across its workers, and the summaries are tabulated from
+    the returned full-fidelity records.  Returns the table plus the server's
+    healthz payload (for the counters line).
+    """
+    client = ServeClient(server_url)
+    specs = []
+    for source in sources:
+        specs.extend(api.load_scenario(source))
+    if overrides:
+        applied = []
+        for spec in specs:
+            filtered = filter_unsupported_axes(spec.system, overrides)
+            applied.append(spec.with_overrides(**filtered) if filtered else spec)
+        specs = applied
+    jobs = [client.submit(spec)[0] for spec in specs]
+    table = ComparisonResult(
+        title=f"Scenario sweep ({len(specs)} scenario{'s' if len(specs) != 1 else ''}, remote)",
+        columns=["scenario", "system", "rounds", "avg_delay_s", "avg_accuracy", "final_accuracy"],
+    )
+    for spec, job in zip(specs, jobs):
+        final = client.wait(job["job_id"], timeout=600.0)
+        if final["state"] != "done":
+            raise ServeClientError(
+                f"job {final['job_id']} ({final['name']}) finished as "
+                f"{final['state']}: {final.get('error') or 'no error recorded'}"
+            )
+        summary = summarize_history(client.history(final["result_key"]))
+        table.add_row(
+            spec.name,
+            spec.system,
+            summary["rounds"],
+            summary["average_delay"],
+            summary["average_accuracy"],
+            summary["final_accuracy"],
+        )
+    return table, client.health()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -397,16 +498,47 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     engine = api.ExperimentEngine()
 
+    if args.command == "serve":
+        server = api.ReproServer(
+            args.host,
+            args.port,
+            store=api.RunStore(args.store),
+            workers=args.workers,
+            isolation=args.isolation,
+            max_retries=args.max_retries,
+        )
+        # SIGTERM gets the same clean shutdown as Ctrl-C: backgrounded shells
+        # (and CI) often can't deliver SIGINT to a non-interactive child.
+        signal.signal(signal.SIGTERM, signal.default_int_handler)
+        print(
+            f"experiment server listening on {server.url} "
+            f"({args.workers} {args.isolation} worker(s), store {args.store})",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", flush=True)
+        finally:
+            server.close()
+        return 0
+
     if args.command == "run":
         fields = _fields_from_args(args)
         fields["name"] = args.system
         fields["max_workers"] = args.workers
         fields.update(_PER_SYSTEM_OVERRIDES.get(args.system, {}))
         try:
-            hist = api.run(args.system, engine=engine, **fields)
+            if args.server:
+                hist = api.submit(args.system, server=args.server, **fields)
+            else:
+                hist = api.run(args.system, engine=engine, **fields)
         except ScenarioError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        except ServeClientError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         _print_history(args.system, hist)
         if args.export:
             path = save_history_csv(hist, args.export)
@@ -522,6 +654,27 @@ def main(argv: list[str] | None = None) -> int:
         overrides["round_mode"] = args.round_mode
     if args.defense is not None:
         overrides["defense"] = args.defense
+    if args.server:
+        try:
+            table, health = _remote_sweep(args.server, args.scenario, overrides or None)
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ServeClientError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(table.to_text())
+        engine_counts = health["engine"]
+        print(
+            f"server {args.server}: {engine_counts['cache_hits']} loaded, "
+            f"{engine_counts['runs_computed']} computed, "
+            f"{health['readthrough_hits']} served read-through, "
+            f"{health['singleflight_hits']} deduped in flight"
+        )
+        if args.export:
+            path = save_comparison_csv(table, args.export)
+            print(f"sweep summary written to {path}")
+        return 0
     # The store is write-through by default (every completed grid point is
     # persisted as the sweep goes, so a killed sweep loses nothing); --resume
     # additionally *reads* it, and --no-cache disables it entirely.

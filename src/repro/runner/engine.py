@@ -27,6 +27,7 @@ split observable (and testable).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -41,7 +42,17 @@ from repro.systems.registry import RunResult, get_system
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.store.runstore import RunStore
 
-__all__ = ["ScenarioResult", "ExperimentEngine", "run_scenario"]
+__all__ = ["RunCancelled", "ScenarioResult", "ExperimentEngine", "run_scenario"]
+
+
+class RunCancelled(RuntimeError):
+    """A streaming run was cancelled cooperatively between rounds.
+
+    Raised by :meth:`ExperimentEngine.run_streaming` when its ``should_stop``
+    callable returns True; the rounds computed so far are accounted in
+    ``round_evaluations`` but no record is stored and ``runs_computed`` does
+    not move.
+    """
 
 
 @dataclass(frozen=True)
@@ -84,6 +95,10 @@ class ExperimentEngine:
         assertable.
     cache_hits:
         Number of scenarios served from the store without computation.
+
+    All three counters are updated through :meth:`tally` under one internal
+    lock, so an engine shared across server worker threads (``repro serve``)
+    never loses an increment to a read-modify-write race.
     round_evaluations:
         Total *simulated communication rounds actually computed* by this
         engine (cache hits and checkpoint-resumed prefixes cost zero) — the
@@ -99,16 +114,38 @@ class ExperimentEngine:
     cache_hits: int = 0
     round_evaluations: int = 0
     _dataset_cache: dict[tuple, FederatedDataset] = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     # ------------------------------------------------------------------
+    def tally(self, *, runs: int = 0, rounds: int = 0, hits: int = 0) -> None:
+        """Atomically bump the engine counters (thread-safe).
+
+        Plain ``+=`` on the counter attributes is a read-modify-write that
+        loses increments when the engine is shared across threads (the
+        ``repro serve`` worker pool); every internal counter update routes
+        through here, and external executors (the serve layer's subprocess
+        isolation mode) use it to account work computed on the engine's
+        behalf in another process.
+        """
+        with self._lock:
+            self.runs_computed += runs
+            self.round_evaluations += rounds
+            self.cache_hits += hits
+
     def dataset_for(self, spec: ScenarioSpec) -> FederatedDataset:
         """Build (or fetch the memoised) federated dataset for ``spec``."""
         key = spec.dataset_key()
         if not self.cache_datasets:
             return self._build_dataset(spec)
-        if key not in self._dataset_cache:
-            self._dataset_cache[key] = self._build_dataset(spec)
-        return self._dataset_cache[key]
+        with self._lock:
+            dataset = self._dataset_cache.get(key)
+        if dataset is None:
+            # Built outside the lock (builds are slow and deterministic);
+            # concurrent builders race benignly — setdefault keeps one winner.
+            built = self._build_dataset(spec)
+            with self._lock:
+                dataset = self._dataset_cache.setdefault(key, built)
+        return dataset
 
     @staticmethod
     def _build_dataset(spec: ScenarioSpec) -> FederatedDataset:
@@ -134,14 +171,13 @@ class ExperimentEngine:
         if self.store is not None and self.reuse_cached:
             cached = self.store.get(spec)
             if cached is not None:
-                self.cache_hits += 1
+                self.tally(hits=1)
                 return cached
         system = get_system(spec.system)
         dataset = self.dataset_for(spec) if system.capabilities.needs_dataset else None
         result = system.build(spec, dataset).run()
         result.history.label = spec.name
-        self.runs_computed += 1
-        self.round_evaluations += len(result.history)
+        self.tally(runs=1, rounds=len(result.history))
         if self.store is not None:
             self.store.put(spec, result)
         return result
@@ -183,7 +219,7 @@ class ExperimentEngine:
         if self.store is not None and self.reuse_cached:
             cached = self.store.get(target)
             if cached is not None:
-                self.cache_hits += 1
+                self.tally(hits=1)
                 return cached
         system = get_system(target.system)
         dataset = self.dataset_for(target) if system.capabilities.needs_dataset else None
@@ -229,10 +265,89 @@ class ExperimentEngine:
             history=history,
             extras=dict(getattr(runner, "extras", {})),
         )
-        self.runs_computed += 1
-        self.round_evaluations += target.num_rounds - start
+        self.tally(runs=1, rounds=target.num_rounds - start)
         if self.store is not None:
             self.store.put(target, result, checkpoint=blob)
+        return result
+
+    def run_streaming(
+        self,
+        spec: ScenarioSpec,
+        *,
+        progress=None,
+        should_stop=None,
+    ) -> RunResult:
+        """Run ``spec`` one round at a time, reporting progress between rounds.
+
+        ``progress(rounds_done, total_rounds)`` is called after every
+        simulated communication round (and once, immediately, on a store
+        hit), which is how the experiment service streams per-round progress
+        into its job status endpoint.  ``should_stop()`` is polled between
+        rounds; when it returns True the run stops and :class:`RunCancelled`
+        is raised — the rounds already computed are counted in
+        ``round_evaluations``, nothing is stored, and ``runs_computed`` does
+        not move.
+
+        The stepping reuses the checkpoint machinery's ``run_until`` (the
+        same incremental path an ASHA promotion resumes through), so the
+        resulting history is bit-identical to an uninterrupted
+        :meth:`run_result` of the same spec.  Systems whose trainer does not
+        implement the checkpoint protocol fall back to one non-interruptible
+        :meth:`run_result` call with a single final progress report.
+        """
+        spec.validate()
+        total = int(spec.num_rounds)
+        if self.store is not None and self.reuse_cached:
+            cached = self.store.get(spec)
+            if cached is not None:
+                self.tally(hits=1)
+                if progress is not None:
+                    progress(total, total)
+                return cached
+        system = get_system(spec.system)
+        dataset = self.dataset_for(spec) if system.capabilities.needs_dataset else None
+        runner = system.build(spec, dataset)
+        trainer = getattr(runner, "trainer", None)
+        if trainer is None or not callable(getattr(trainer, "run_until", None)):
+            result = self._run_prebuilt(spec, runner)
+            if progress is not None:
+                progress(total, total)
+            return result
+        done = 0
+        try:
+            for target_round in range(1, total + 1):
+                if should_stop is not None and should_stop():
+                    raise RunCancelled(
+                        f"run of {spec.name!r} cancelled after {done}/{total} rounds"
+                    )
+                trainer.run_until(target_round)
+                done = target_round
+                if progress is not None:
+                    progress(done, total)
+        finally:
+            self.tally(rounds=done)
+            close = getattr(trainer, "close", None)
+            if callable(close):
+                close()
+        history = trainer.history
+        history.label = spec.name
+        result = RunResult(
+            system=system.name,
+            history=history,
+            extras=dict(getattr(runner, "extras", {})),
+        )
+        self.tally(runs=1)
+        if self.store is not None:
+            self.store.put(spec, result)
+        return result
+
+    def _run_prebuilt(self, spec: ScenarioSpec, runner) -> RunResult:
+        """Execute an already-built run object with the standard accounting."""
+        result = runner.run()
+        result.history.label = spec.name
+        self.tally(runs=1, rounds=len(result.history))
+        if self.store is not None:
+            self.store.put(spec, result)
         return result
 
     def run(self, spec: ScenarioSpec) -> TrainingHistory:

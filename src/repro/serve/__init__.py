@@ -1,0 +1,35 @@
+"""The experiment service: serve runs over HTTP with a job queue and dedup.
+
+``repro serve`` turns the one-shot CLI into a long-running daemon: the
+content-addressed :class:`~repro.store.runstore.RunStore` is the system of
+record, a :class:`~repro.serve.jobs.JobQueue` admits submissions with
+read-through and single-flight dedup, a :class:`~repro.serve.workers.WorkerPool`
+drains it through one shared (lock-counted) engine, and a stdlib HTTP server
+speaks the JSON protocol of :mod:`repro.serve.protocol`.
+
+Layout: ``protocol`` (wire contract), ``jobs`` (queue + lifecycle),
+``workers`` (thread/process execution), ``server`` (HTTP daemon),
+``client`` (thin stdlib client the CLI's ``--server`` flag uses).
+See ``docs/serve.md``.
+"""
+
+from repro.serve.client import JobFailed, ServeClient, ServeClientError
+from repro.serve.jobs import Job, JobQueue
+from repro.serve.protocol import ENDPOINTS, JOB_STATES, PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import ReproServer
+from repro.serve.workers import ISOLATION_MODES, WorkerPool
+
+__all__ = [
+    "ENDPOINTS",
+    "ISOLATION_MODES",
+    "JOB_STATES",
+    "PROTOCOL_VERSION",
+    "Job",
+    "JobFailed",
+    "JobQueue",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServeClientError",
+    "WorkerPool",
+]

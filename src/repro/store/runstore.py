@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
@@ -130,9 +131,16 @@ class RunStore:
         #: therefore ``runs()``/``query()``) would otherwise rescan the 2-hex
         #: shard directories on every call; the index is built on first use,
         #: updated incrementally by :meth:`put`, and invalidated by
-        #: :meth:`gc`/:meth:`refresh_index` (external writers are only picked
-        #: up after a refresh).
+        #: :meth:`gc`/:meth:`refresh_index`.  Because *other processes* write
+        #: to the same root (``repro serve`` worker processes, concurrent
+        #: sweeps), every index read re-validates against the on-disk shard
+        #: directories first: :meth:`_shard_stamp` fingerprints their names
+        #: and mtimes (at most 256 ``stat`` calls), and a stamp mismatch
+        #: triggers a rescan — so a record put by another process is visible
+        #: to ``query()`` without any manual refresh.
         self._key_index: set[str] | None = None
+        self._index_stamp: tuple | None = None
+        self._index_lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"RunStore(root={str(self.root)!r}, compress={self.compress})"
@@ -220,8 +228,12 @@ class RunStore:
         else:
             arrays_path.unlink(missing_ok=True)  # drop a stale sidecar on rewrite
         write_json_record(path, payload, kind="run")
-        if self._key_index is not None:
-            self._key_index.add(key)
+        with self._index_lock:
+            if self._key_index is not None:
+                # The write also changed the shard's mtime, so the next
+                # _index() call re-validates; adding eagerly just keeps
+                # same-process readers coherent without waiting for it.
+                self._key_index.add(key)
         return StoredRun(
             key=key,
             spec=spec,
@@ -320,20 +332,52 @@ class RunStore:
         )
 
     # -- querying -------------------------------------------------------
+    def _shard_stamp(self) -> tuple:
+        """A cheap fingerprint of the on-disk shard state (names + mtimes).
+
+        A new record — written by this process or any other — either creates
+        a shard directory (changing the name set) or updates an existing
+        one's mtime, so comparing stamps detects external writes without
+        enumerating every record file.
+        """
+        try:
+            with os.scandir(self.root) as entries:
+                return tuple(
+                    sorted(
+                        (entry.name, entry.stat().st_mtime_ns)
+                        for entry in entries
+                        if entry.is_dir() and len(entry.name) == 2
+                    )
+                )
+        except FileNotFoundError:
+            return ()
+
     def _index(self) -> set[str]:
-        """The in-memory key index, scanning the shard directories on first use."""
-        if self._key_index is None:
-            self._key_index = {p.stem for p in self.root.glob("??/*.json")}
-        return self._key_index
+        """The in-memory key index, re-validated against the on-disk shards.
+
+        On every call the shard stamp is recomputed; a mismatch (first use,
+        an external writer, or this store's own :meth:`put`) rescans the
+        shard directories, so concurrent ``put`` from other processes —
+        ``repro serve`` worker processes share one store root — cannot leave
+        ``query()``/``keys()`` serving a stale index.
+        """
+        with self._index_lock:
+            stamp = self._shard_stamp()
+            if self._key_index is None or stamp != self._index_stamp:
+                self._key_index = {p.stem for p in self.root.glob("??/*.json")}
+                self._index_stamp = stamp
+            return set(self._key_index)
 
     def refresh_index(self) -> None:
         """Drop the in-memory key index (next ``keys()`` rescans the shards).
 
-        Only needed when another process wrote records after this store
-        instance first enumerated them; this store's own :meth:`put`/:meth:`gc`
-        keep the index current.
+        Kept for compatibility; external writes are already detected by the
+        shard-stamp re-validation in :meth:`_index`, so calling this is only
+        needed to force a rescan when a writer bypassed the shard layout.
         """
-        self._key_index = None
+        with self._index_lock:
+            self._key_index = None
+            self._index_stamp = None
 
     def keys(self) -> tuple[str, ...]:
         """Every record key under the root, sorted (served from the index)."""
@@ -416,7 +460,7 @@ class RunStore:
                 if not dry_run:
                     arrays_path.unlink(missing_ok=True)
         if removed and not dry_run:
-            self._key_index = None  # invalidate; next keys() rescans
+            self.refresh_index()  # invalidate; next keys() rescans
         return tuple(removed)
 
     @staticmethod

@@ -24,6 +24,15 @@ from repro.nn.models import MLPClassifier  # noqa: E402
 from repro.utils.rng import new_rng  # noqa: E402
 
 
+def pytest_configure(config) -> None:
+    """Register the suite-local markers (pytest has no ini file here)."""
+    config.addinivalue_line(
+        "markers",
+        "serve: end-to-end tests that boot the HTTP experiment service "
+        "(job queue, worker pool, fault injection)",
+    )
+
+
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     """A deterministic generator for test-local randomness."""

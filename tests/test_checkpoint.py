@@ -279,12 +279,14 @@ class TestKeyIndex:
         assert store._key_index is None
         assert store.keys() == ()
 
-    def test_refresh_index_picks_up_external_writers(self, tmp_path):
+    def test_index_picks_up_external_writers(self, tmp_path):
         spec = ScenarioSpec(system="blockchain", name="idx", num_clients=5, num_rounds=2)
         reader = RunStore(tmp_path)
         assert reader.keys() == ()
         writer = RunStore(tmp_path)  # a "different process"
         writer.put(spec, ExperimentEngine().run_partial(spec, checkpoint=False))
-        assert reader.keys() == ()  # stale by design...
+        # The shard-stamp check spots the foreign write without an explicit
+        # refresh; refresh_index() stays as the force-rescan escape hatch.
+        assert reader.keys() == (reader.key_for(spec),)
         reader.refresh_index()
-        assert reader.keys() == (reader.key_for(spec),)  # ...until refreshed
+        assert reader.keys() == (reader.key_for(spec),)

@@ -277,6 +277,58 @@ class TestExperimentEngine:
         assert [row[0] for row in table.rows] == ["a", "b"]
         assert len(results) == 2 and results[0].summary["rounds"] == 1
 
+    def test_counters_are_exact_under_concurrent_tally(self):
+        """The serve worker pool shares one engine across threads; its
+        counters must not lose increments (a bare ``+=`` would)."""
+        import sys
+        import threading
+
+        engine = ExperimentEngine()
+        threads_n, iterations = 8, 2000
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force aggressive interleaving
+        try:
+            def hammer() -> None:
+                for _ in range(iterations):
+                    engine.tally(runs=1, rounds=2, hits=1)
+
+            threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert engine.runs_computed == threads_n * iterations
+        assert engine.round_evaluations == 2 * threads_n * iterations
+        assert engine.cache_hits == threads_n * iterations
+
+    def test_run_streaming_matches_run_and_reports_progress(self):
+        spec = ScenarioSpec(system="blockchain", num_clients=8, num_rounds=3)
+        seen: list[tuple[int, int]] = []
+        streamed = ExperimentEngine().run_streaming(
+            spec, progress=lambda done, total: seen.append((done, total))
+        )
+        plain = ExperimentEngine().run(spec)
+        assert _fingerprint(streamed.history) == _fingerprint(plain)
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_run_streaming_cancellation_raises_and_counts_partial_rounds(self):
+        from repro.runner.engine import RunCancelled
+
+        engine = ExperimentEngine()
+        spec = ScenarioSpec(system="blockchain", num_clients=8, num_rounds=5)
+        done_rounds: list[int] = []
+        with pytest.raises(RunCancelled):
+            engine.run_streaming(
+                spec,
+                progress=lambda done, total: done_rounds.append(done),
+                should_stop=lambda: bool(done_rounds and done_rounds[-1] >= 2),
+            )
+        assert engine.runs_computed == 0  # a cancelled run is not a computed run
+        assert engine.round_evaluations == 2  # ...but its partial rounds are costed
+        assert done_rounds == [1, 2]
+
 
 class TestVectorisedAggregationPath:
     def _updates(self, dim=3):

@@ -1,0 +1,138 @@
+"""Stress tests for the experiment service under concurrent submission.
+
+The serving stack's central promises, exercised with real threads against a
+real (ephemeral-port) HTTP server:
+
+* **exactly-once computation** — 16 clients submitting overlapping identical
+  and distinct scenarios trigger exactly one computation per distinct
+  ``spec_key``; the rest collapse single-flight onto the in-flight job or
+  read through the store;
+* **bit-identical results** — a history fetched over the wire equals the
+  history :func:`repro.api.run` computes locally for the same spec, field
+  for field;
+* **liveness** — the queue drains under a watchdog; no submission pattern
+  wedges a worker.
+
+Everything runs against a tmp-path store, so the suite neither reads nor
+pollutes ``results/store/``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import api
+from repro.serve.client import ServeClient
+
+pytestmark = pytest.mark.serve
+
+#: Watchdog for every blocking wait in this module (the ISSUE's liveness bar).
+WATCHDOG_S = 60.0
+
+
+def _spec(seed: int) -> api.ScenarioSpec:
+    """A tiny distinct-per-seed scenario (fast enough for 16x submission)."""
+    return api.ScenarioSpec.from_mapping(
+        {
+            "name": f"stress-{seed}",
+            "system": "fedavg",
+            "num_clients": 4,
+            "num_samples": 200,
+            "num_rounds": 2,
+            "seed": seed,
+        }
+    )
+
+
+def _history_fields(history) -> tuple:
+    """The full per-round payload of a history, for exact comparison."""
+    return (
+        tuple(history.accuracies),
+        tuple(history.delays),
+        tuple(history.elapsed_times),
+    )
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = api.serve(workers=4, store=tmp_path / "store")
+    try:
+        yield srv
+    finally:
+        srv.close()
+
+
+class TestConcurrentSubmission:
+    def test_sixteen_threads_compute_each_distinct_spec_exactly_once(self, server):
+        """4 distinct specs x 4 submitters each: 16 threads, 4 computations."""
+        distinct = [_spec(seed) for seed in range(4)]
+        barrier = threading.Barrier(16)
+        outcomes: dict[int, tuple] = {}
+        errors: list[BaseException] = []
+
+        def submitter(index: int, spec: api.ScenarioSpec) -> None:
+            client = ServeClient(server.url)
+            try:
+                barrier.wait(timeout=WATCHDOG_S)
+                history = client.run(spec, timeout=WATCHDOG_S)
+                outcomes[index] = (spec.seed, _history_fields(history))
+            except BaseException as exc:  # noqa: BLE001 - collected for the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submitter, args=(i, distinct[i % 4]), daemon=True)
+            for i in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(WATCHDOG_S)
+        assert not any(t.is_alive() for t in threads), "a submitter hung past the watchdog"
+        assert not errors, f"submitters failed: {errors}"
+        assert len(outcomes) == 16
+
+        health = ServeClient(server.url).health()
+        # Exactly one computation per distinct spec; every duplicate was
+        # absorbed by single-flight dedup or store read-through.
+        assert health["engine"]["runs_computed"] == 4
+        assert health["singleflight_hits"] + health["readthrough_hits"] == 12
+        assert health["queue_depth"] == 0
+        assert health["jobs"]["running"] == 0
+        assert health["jobs"]["failed"] == 0
+
+        # All 4 submitters of one spec saw the same bytes-for-bytes history.
+        by_seed: dict[int, set] = {}
+        for seed, fields in outcomes.values():
+            by_seed.setdefault(seed, set()).add(fields)
+        assert all(len(variants) == 1 for variants in by_seed.values())
+
+    def test_served_history_is_bit_identical_to_local_run(self, server):
+        spec = _spec(99)
+        remote = ServeClient(server.url).run(spec, timeout=WATCHDOG_S)
+        local = api.run(spec)
+        assert _history_fields(remote) == _history_fields(local)
+
+    def test_resubmitting_a_stored_spec_reads_through_without_computing(self, server):
+        spec = _spec(7)
+        client = ServeClient(server.url)
+        client.run(spec, timeout=WATCHDOG_S)
+        computed_before = client.health()["engine"]["runs_computed"]
+
+        job = client.submit(spec)[0]
+        assert job["state"] == "done"
+        assert job["cached"] is True
+        health = client.health()
+        assert health["engine"]["runs_computed"] == computed_before
+        assert health["readthrough_hits"] >= 1
+
+    def test_burst_of_distinct_specs_drains_under_watchdog(self, server):
+        client = ServeClient(server.url)
+        jobs = [client.submit(_spec(100 + i))[0] for i in range(8)]
+        finals = [client.wait(j["job_id"], timeout=WATCHDOG_S) for j in jobs]
+        assert all(f["state"] == "done" for f in finals)
+        assert {f["spec_key"] for f in finals} == {j["spec_key"] for j in jobs}
+        health = client.health()
+        assert health["queue_depth"] == 0
+        assert health["jobs"]["done"] == 8

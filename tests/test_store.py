@@ -344,6 +344,41 @@ class TestRunStore:
         assert len(removed) == 1
         assert [r.spec.miners for r in store.runs()] == [2]
 
+    def test_index_sees_records_written_by_another_process(self, tmp_path):
+        """The in-memory key index re-validates against the on-disk shards.
+
+        The serve daemon's process-isolation workers (and any concurrent
+        sweep) write records through *separate* RunStore instances; a store
+        whose index was already built must still answer ``contains``/
+        ``query``/``keys`` for them without an explicit refresh.
+        """
+        store = RunStore(tmp_path)
+        local = _blockchain_spec(name="local", miners=2)
+        store.put(local, ExperimentEngine().run_result(local))
+        other = _blockchain_spec(name="other", miners=3)
+        assert not store.contains(other)  # the index is now built and warm
+
+        script = (
+            "from repro.runner.engine import ExperimentEngine\n"
+            "from repro.runner.scenario import ScenarioSpec\n"
+            "from repro.store import RunStore\n"
+            f"spec = ScenarioSpec.from_mapping({other.to_mapping()!r})\n"
+            f"RunStore({str(tmp_path)!r}).put(spec, ExperimentEngine().run_result(spec))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, env=env, check=True
+        )
+
+        assert store.contains(other)
+        assert spec_key(other) in store.keys()
+        assert [r.spec.miners for r in store.query(miners=3)] == [3]
+        cached = store.get(other)
+        assert cached is not None and cached.history.label == "other"
+
     def test_old_schema_records_miss_and_collect(self, tmp_path):
         store = RunStore(tmp_path)
         spec = _blockchain_spec()

@@ -55,6 +55,7 @@ BUILTINS = ("fairbfl", "fairbfl-discard", "fedavg", "fedprox", "blockchain")
 PINNED_API = [
     "ComparisonResult",
     "ExperimentEngine",
+    "ReproServer",
     "RunResult",
     "RunStore",
     "ScenarioError",
@@ -62,6 +63,7 @@ PINNED_API = [
     "ScenarioResult",
     "ScenarioSpec",
     "SearchResult",
+    "ServeClient",
     "StoredRun",
     "System",
     "SystemCapabilities",
@@ -75,7 +77,9 @@ PINNED_API = [
     "report",
     "run",
     "search",
+    "serve",
     "spec_key",
+    "submit",
     "sweep",
     "unregister_system",
 ]

@@ -29,7 +29,11 @@ Fails (exit code 1) when the documentation has drifted from the code:
 10. a ``repro`` CLI subcommand is mentioned in neither the README quickstart
     nor ``docs/api.md`` — every verb the parser accepts must have at least
     one discoverable usage reference (``repro <verb>`` or
-    ``repro.cli <verb>``).
+    ``repro.cli <verb>``);
+11. an HTTP endpoint declared in ``repro.serve.protocol.ENDPOINTS`` is
+    missing from the service reference ``docs/serve.md`` — the endpoint
+    table is imported from the code, so adding a route without documenting
+    its method and path fails this check.
 
 Run from the repository root:
 
@@ -283,6 +287,35 @@ def check_cli_subcommand_docs() -> list[str]:
     return problems
 
 
+def check_serve_endpoint_docs() -> list[str]:
+    """Every declared HTTP endpoint must appear in docs/serve.md.
+
+    The wire contract lives in ``repro.serve.protocol.ENDPOINTS``; the
+    service reference must show each endpoint's method + path template and
+    mention its name, so a new route cannot land undocumented.
+    """
+    _ensure_importable()
+    from repro.serve.protocol import ENDPOINTS
+
+    doc_path = REPO_ROOT / "docs" / "serve.md"
+    if not doc_path.exists():
+        return ["docs/serve.md: experiment-service reference is missing"]
+    doc = doc_path.read_text(encoding="utf-8")
+    problems = []
+    for endpoint in ENDPOINTS.values():
+        if endpoint.path not in doc:
+            problems.append(
+                f"docs/serve.md does not document endpoint {endpoint.method} "
+                f"{endpoint.path} ({endpoint.name})"
+            )
+        elif not re.search(rf"\b{re.escape(endpoint.name)}\b", doc):
+            problems.append(
+                f"docs/serve.md documents {endpoint.path} but never names the "
+                f"{endpoint.name!r} endpoint"
+            )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_module_docstrings()
@@ -295,6 +328,7 @@ def main() -> int:
         + check_benchmark_docs()
         + check_api_reference()
         + check_cli_subcommand_docs()
+        + check_serve_endpoint_docs()
     )
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
