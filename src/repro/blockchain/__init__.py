@@ -10,7 +10,9 @@ Implements the distributed-ledger machinery FAIR-BFL runs on top of:
   the stochastic mining-time model used at simulation scale;
 * :mod:`repro.blockchain.mempool` — block-size-limited transaction queue (the
   source of vanilla BFL's queueing delay, Fig. 6a);
-* :mod:`repro.blockchain.chain` — append/validate/fork-tracking ledger;
+* :mod:`repro.blockchain.chain` — append/validate/fork-tracking ledger plus
+  the deterministic fork-choice rule (longest chain, seeded hash tie-break)
+  and reorg handling the gossip substrate (:mod:`repro.net`) builds on;
 * :mod:`repro.blockchain.miner` — miner nodes combining the above;
 * :mod:`repro.blockchain.network` — broadcast network with latency;
 * :mod:`repro.blockchain.consensus` — longest-chain consensus and the
@@ -18,7 +20,7 @@ Implements the distributed-ledger machinery FAIR-BFL runs on top of:
 """
 
 from repro.blockchain.block import Block, BlockHeader, GENESIS_PREVIOUS_HASH
-from repro.blockchain.chain import Blockchain
+from repro.blockchain.chain import Blockchain, BlockValidationError, ForkChoice
 from repro.blockchain.consensus import ForkModel, LongestChainConsensus
 from repro.blockchain.mempool import Mempool
 from repro.blockchain.merkle import merkle_root
@@ -38,6 +40,8 @@ __all__ = [
     "BlockHeader",
     "GENESIS_PREVIOUS_HASH",
     "Blockchain",
+    "BlockValidationError",
+    "ForkChoice",
     "ForkModel",
     "LongestChainConsensus",
     "Mempool",

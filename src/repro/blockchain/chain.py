@@ -6,22 +6,75 @@ identical.  The class still implements full validation (hash links, Merkle
 roots, PoW targets, monotonically increasing rounds) so that tampering is
 detectable, and fork bookkeeping so the vanilla-blockchain baseline can reuse
 the same type.
+
+Once the gossip substrate (:mod:`repro.net`) partitions the miner committee,
+views *do* diverge: :class:`ForkChoice` is the deterministic rule every node
+applies to pick between competing chains (longest chain, with a seeded hash
+tie-break for equal lengths), and :meth:`Blockchain.reorg_to` swaps a losing
+view onto the winning chain after validating it in full.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.blockchain.block import Block, GENESIS_PREVIOUS_HASH
 from repro.crypto.hashing import difficulty_to_target, meets_target
 
-__all__ = ["Blockchain", "BlockValidationError"]
+__all__ = ["Blockchain", "BlockValidationError", "ForkChoice"]
 
 
 class BlockValidationError(ValueError):
     """Raised when an appended block fails validation."""
+
+
+@dataclass(frozen=True)
+class ForkChoice:
+    """Deterministic longest-chain fork choice with a seeded hash tie-break.
+
+    The longer chain always wins.  Equal-length forks are resolved by
+    comparing the SHA-256 digest of ``salt || tip hash``: the chain whose
+    salted tip digest is lexicographically smaller wins.  Every node that
+    shares the same ``salt`` (the experiment seed) therefore picks the same
+    winner from the same candidate set — no dependence on message arrival
+    order, dict iteration, or node identity — which is what lets divergent
+    views reconverge bit-deterministically when a partition heals.
+    """
+
+    salt: int = 0
+
+    def tie_break(self, tip_hash: str) -> str:
+        """The salted digest equal-length forks are compared by (lower wins)."""
+        payload = f"fork-choice|{int(self.salt)}|{tip_hash}".encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+    def prefer(self, current: "Blockchain", candidate: "Blockchain") -> bool:
+        """True when ``candidate`` strictly beats ``current``."""
+        if not candidate.blocks:
+            return False
+        if not current.blocks:
+            return True
+        if candidate.height != current.height:
+            return candidate.height > current.height
+        current_tip = current.last_block.block_hash
+        candidate_tip = candidate.last_block.block_hash
+        if candidate_tip == current_tip:
+            return False
+        return self.tie_break(candidate_tip) < self.tie_break(current_tip)
+
+    def best(self, chains: Iterable["Blockchain"]) -> "Blockchain":
+        """The winning chain among ``chains`` (raises on an empty iterable)."""
+        winner: Blockchain | None = None
+        for chain in chains:
+            if winner is None or self.prefer(winner, chain):
+                winner = chain
+        if winner is None:
+            raise ValueError("fork choice needs at least one candidate chain")
+        return winner
 
 
 @dataclass
@@ -155,6 +208,48 @@ class Blockchain:
                 target = difficulty_to_target(child.header.difficulty)
                 if not meets_target(child.block_hash, target):
                     raise BlockValidationError(f"insufficient proof of work at height {child.index}")
+
+    def has_block(self, block_hash: str) -> bool:
+        """Whether a block with this hash is part of the chain.
+
+        Chains are one block per round, so the linear scan is bounded by the
+        round count; per-node gossip handlers use this for duplicate detection.
+        """
+        return any(b.block_hash == block_hash for b in self.blocks)
+
+    def reorg_to(self, blocks: Sequence[Block]) -> tuple[int, int]:
+        """Replace this chain with the (winning) candidate chain ``blocks``.
+
+        The candidate is validated in full *before* anything is discarded —
+        genesis shape, hash links, Merkle roots, and (when ``enforce_pow``)
+        difficulty targets — and must share this chain's genesis block, so a
+        node can never be reorged onto a different ledger.  Returns
+        ``(rolled_back, applied)``: how many tip blocks were discarded and how
+        many candidate blocks replaced or extended them past the common
+        prefix.  A reorg that actually discards blocks counts one fork event.
+
+        Raises
+        ------
+        BlockValidationError
+            If the candidate chain is invalid or does not share the genesis.
+        """
+        candidate = list(blocks)
+        if not candidate:
+            raise BlockValidationError("cannot reorg to an empty chain")
+        self._validate_full_chain(candidate)
+        if self.blocks and candidate[0].block_hash != self.blocks[0].block_hash:
+            raise BlockValidationError("candidate chain has a different genesis block")
+        common = 0
+        for ours, theirs in zip(self.blocks, candidate):
+            if ours.block_hash != theirs.block_hash:
+                break
+            common += 1
+        rolled_back = len(self.blocks) - common
+        applied = len(candidate) - common
+        self.blocks = candidate
+        if rolled_back:
+            self.fork_events += 1
+        return rolled_back, applied
 
     def record_fork(self) -> None:
         """Count a fork event (vanilla-blockchain baseline bookkeeping)."""

@@ -78,6 +78,7 @@ from repro.core.io import save_comparison_csv, save_history_csv
 from repro.core.results import ComparisonResult, summarize_history
 from repro.search import PROMOTION_METRICS
 from repro.fl.robust import DEFENSES
+from repro.net.topology import TOPOLOGIES
 from repro.runner.executor import EXECUTOR_BACKENDS
 from repro.runner.scenario import ScenarioError
 from repro.serve.client import ServeClient, ServeClientError
@@ -139,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="forgery the malicious clients apply (with --attacks)",
         )
         add_defense(p)
+        add_net(p)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--export", default=None, help="write the per-round series to this CSV file")
         add_backend(p)
@@ -184,6 +186,35 @@ def build_parser() -> argparse.ArgumentParser:
             type=float,
             default=0.2,
             help="adversary fraction the defense is sized for, in [0, 0.5)",
+        )
+
+    def add_net(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--topology",
+            default="global",
+            choices=list(TOPOLOGIES),
+            help="committee network shape: 'global' keeps the replicated "
+            "single-network path, other values give each miner its own peer "
+            "set, mempool and chain view over seeded gossip (net-capable "
+            "systems; docs/scenarios.md)",
+        )
+        p.add_argument(
+            "--peer-k",
+            type=int,
+            default=2,
+            help="peers drawn per node under --topology random_k",
+        )
+        p.add_argument(
+            "--partition",
+            default="none",
+            help="timed network splits, e.g. '2-4:0|1' splits nodes 0 and 1 "
+            "apart for rounds 2-4 (requires a non-global --topology)",
+        )
+        p.add_argument(
+            "--churn",
+            default="none",
+            help="node departure/arrival trace, e.g. '1:-0;3:+0' takes node 0 "
+            "offline for rounds 1-2 (requires a non-global --topology)",
         )
 
     def add_backend(p: argparse.ArgumentParser, *, backend_default: str | None = "serial") -> None:
@@ -424,6 +455,10 @@ def _fields_from_args(args: argparse.Namespace) -> dict:
         attack_name=args.attack_name,
         defense=args.defense,
         defense_fraction=args.defense_fraction,
+        topology=args.topology,
+        peer_k=args.peer_k,
+        partition=args.partition,
+        churn=args.churn,
         seed=args.seed,
         backend=args.backend,
         model_name="logreg",

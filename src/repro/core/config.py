@@ -19,6 +19,8 @@ from repro.core.flexibility import OperatingMode
 from repro.fl.client import LocalTrainingConfig
 from repro.fl.robust import check_defense
 from repro.incentive.contribution import ContributionConfig
+from repro.net.schedule import parse_churn, parse_partition
+from repro.net.topology import TOPOLOGIES
 from repro.sim.delay import DelayParameters
 from repro.sim.rounds import ROUND_MODES
 from repro.utils.validation import check_executor_settings, check_probability
@@ -101,6 +103,22 @@ class FairBFLConfig:
         :class:`repro.runner.executor.ParallelExecutor`.
     executor_workers:
         Worker count for the thread/process backends (``None`` = CPU count).
+    topology:
+        Committee network shape (see :data:`repro.net.topology.TOPOLOGIES`):
+        ``"global"`` keeps the legacy single broadcast network (bit-identical
+        to earlier releases); ``"full"``, ``"ring"`` and ``"random_k"`` give
+        every miner its own peer set, mempool and chain view over seeded
+        flooding gossip (see :mod:`repro.net`).
+    peer_k:
+        Seeded peers drawn per node under ``topology="random_k"``.
+    partition:
+        Timed network splits, e.g. ``"2-4:0|1"`` — see
+        :func:`repro.net.schedule.parse_partition` for the grammar.  Requires
+        a non-``global`` topology.
+    churn:
+        Node arrival/departure trace, e.g. ``"1:-0;3:+0"`` — see
+        :func:`repro.net.schedule.parse_churn`.  Requires a non-``global``
+        topology.
     seed:
         Experiment seed (controls everything: data split, selection, attacks,
         delays, mining winners).
@@ -132,6 +150,10 @@ class FairBFLConfig:
     delay_params: DelayParameters = field(default_factory=DelayParameters)
     executor_backend: str = "serial"
     executor_workers: int | None = None
+    topology: str = "global"
+    peer_k: int = 2
+    partition: str = "none"
+    churn: str = "none"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -173,7 +195,44 @@ class FairBFLConfig:
         if self.staleness_decay < 0.0:
             raise ValueError(f"staleness_decay must be >= 0, got {self.staleness_decay}")
         # Validate the mode eagerly so misconfiguration fails at construction.
-        OperatingMode.parse(self.mode)
+        mode = OperatingMode.parse(self.mode)
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"topology must be one of {', '.join(TOPOLOGIES)}, got {self.topology!r}"
+            )
+        if self.topology == "global":
+            if (self.partition or "none") != "none":
+                raise ValueError(
+                    "partition requires a non-'global' topology (the legacy "
+                    "single-network path cannot split)"
+                )
+            if (self.churn or "none") != "none":
+                raise ValueError(
+                    "churn requires a non-'global' topology (the legacy "
+                    "single-network path has no per-node liveness)"
+                )
+        else:
+            if mode == OperatingMode.FL_ONLY:
+                raise ValueError(
+                    "non-'global' topologies need the blockchain procedures; "
+                    "mode='fl_only' has no miners to gossip between"
+                )
+            if self.round_mode != "sync":
+                raise ValueError(
+                    "non-'global' topologies currently require round_mode='sync' "
+                    f"(got {self.round_mode!r})"
+                )
+            if self.topology == "random_k" and not (
+                1 <= self.peer_k < max(self.num_miners, 2)
+            ):
+                raise ValueError(
+                    f"peer_k must lie in [1, num_miners) for topology='random_k', "
+                    f"got peer_k={self.peer_k} with {self.num_miners} miners"
+                )
+            # Eagerly parse both axis strings so a malformed window or an
+            # all-offline churn trace fails at construction, not mid-run.
+            parse_partition(self.partition, self.num_miners)
+            parse_churn(self.churn, self.num_miners)
 
     @property
     def operating_mode(self) -> OperatingMode:

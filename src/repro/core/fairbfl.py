@@ -41,6 +41,7 @@ from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.selection import ContributionBasedSelector, RandomSelector
 from repro.incentive.rewards import RewardLedger
 from repro.incentive.strategies import make_strategy
+from repro.net.substrate import BeginRoundReport, GossipSubstrate
 from repro.nn.metrics import accuracy
 from repro.nn.models import ModelFactory
 from repro.nn.module import Module
@@ -128,6 +129,23 @@ class FairBFLTrainer(CheckpointMixin):
                 )
             )
 
+        # -- network substrate -------------------------------------------------------
+        # With the default "global" topology no substrate exists and the
+        # replicated single-network path below runs bit-identically to
+        # earlier releases; any other topology gives every miner its own
+        # chain view, peer set, and mempool over seeded gossip.
+        self.net: GossipSubstrate | None = None
+        if config.topology != "global":
+            self.net = GossipSubstrate(
+                miners=self.miners,
+                topology=config.topology,
+                peer_k=config.peer_k,
+                partition=config.partition,
+                churn=config.churn,
+                seed=seed,
+                base_latency=config.delay_params.block_broadcast_per_miner,
+            )
+
         # -- incentive / selection ---------------------------------------------------
         self.strategy = make_strategy(config.strategy)
         if config.strategy == "discard":
@@ -185,7 +203,15 @@ class FairBFLTrainer(CheckpointMixin):
 
     @property
     def chain(self) -> Blockchain:
-        """The (replicated) ledger, viewed through the first miner."""
+        """The canonical ledger view.
+
+        With the ``global`` topology every replica is identical, so the first
+        miner's chain *is* the ledger.  On the gossip substrate views can
+        diverge (partition, churn), so the canonical view is the fork-choice
+        winner among the online nodes.
+        """
+        if self.net is not None:
+            return self.net.best_chain()
         return self.miners[0].chain
 
     def current_global_parameters(self) -> np.ndarray:
@@ -359,10 +385,117 @@ class FairBFLTrainer(CheckpointMixin):
         self._stale_buffer = []
 
     # ------------------------------------------------------------------
+    def _reconcile_rewards(self) -> None:
+        """Rebuild reward balances from the adopted canonical chain.
+
+        After a reorg, rewards granted along the discarded fork are void:
+        the canonical history is whatever the adopted chain records, so
+        client balances and the ledger totals are overwritten from it.  The
+        ledger's per-round history is left alone — it is the as-experienced
+        log, and the divergence between the two is exactly what a reorg
+        costs the affected clients.
+        """
+        totals: dict[int, float] = {}
+        for label, amount in self.chain.total_rewards_by_client().items():
+            _prefix, sep, index_text = str(label).rpartition("-")
+            if not sep or not index_text.isdigit():
+                continue
+            totals[int(index_text)] = totals.get(int(index_text), 0.0) + float(amount)
+        for cid, client in self.clients.items():
+            client.total_reward = totals.get(cid, 0.0)
+        self.reward_ledger.totals = {
+            cid: total for cid, total in sorted(totals.items())
+        }
+
+    def _run_net_procedures(
+        self, ctx: RoundContext, report: "BeginRoundReport", procedures
+    ) -> float:
+        """Procedures III-V per reachability component (the gossip-substrate path).
+
+        Each component exchanges gradient sets, aggregates, and mines on its
+        own chain view — under a partition the sides mine divergent forks.
+        The fork-choice-best view afterwards is the round's primary outcome:
+        its context fields are copied back into ``ctx`` so reward accounting
+        and the round record follow the canonical chain.  Components run in
+        deterministic (sorted) order, so the shared mining RNG stream stays
+        reproducible.  Returns the max block-propagation latency.
+        """
+        cfg = self.config
+        assert self.net is not None
+        miners_by_id = {m.miner_id: m for m in self.miners}
+        outcomes: list[tuple[tuple[str, ...], RoundContext]] = []
+        max_latency = 0.0
+        for component in report.state.components:
+            members = [miners_by_id[mid] for mid in component]
+            cctx = RoundContext(
+                round_index=ctx.round_index,
+                global_parameters=ctx.global_parameters,
+                selected_clients=list(ctx.selected_clients),
+                attacker_ids=list(ctx.attacker_ids),
+            )
+            if Procedure.EXCHANGE in procedures:
+                procedure_exchange(cctx, members)
+            if Procedure.GLOBAL_UPDATE in procedures:
+                procedure_global_update(
+                    cctx,
+                    contribution_config=cfg.contribution,
+                    strategy=self.strategy,
+                    use_fair_aggregation=cfg.use_fair_aggregation,
+                    run_incentive=True,
+                    defense=self.defense,
+                )
+            if cctx.new_global_parameters is None:
+                # Chain-only mode: the block records the unchanged parameters.
+                cctx.new_global_parameters = np.asarray(
+                    cctx.global_parameters, dtype=np.float64
+                ).copy()
+            procedure_mining(
+                cctx,
+                members,
+                self.keystore,
+                self._mining_rng,
+                use_real_pow=cfg.use_real_pow,
+                pow_difficulty=cfg.pow_difficulty,
+                timestamp=self.clock.now,
+            )
+            latency = self.net.commit_block(
+                ctx.round_index, cctx.winning_miner, component, sim_time=self.clock.now
+            )
+            max_latency = max(max_latency, latency)
+            outcomes.append((component, cctx))
+        best = self.net.best_chain()
+        primary = outcomes[0][1]
+        for component, cctx in outcomes:
+            if any(miners_by_id[mid].chain is best for mid in component):
+                primary = cctx
+                break
+        for name in (
+            "gradient_matrix",
+            "gradient_client_ids",
+            "new_global_parameters",
+            "contribution_report",
+            "strategy_outcome",
+            "reward_list",
+            "winning_miner",
+            "mined_block",
+            "defense_rejected_ids",
+            "defense_clipped",
+        ):
+            setattr(ctx, name, getattr(primary, name))
+        return max_latency
+
     def run_round(self, round_index: int) -> RoundRecord:
         """Execute one communication round under the configured operating mode."""
         cfg = self.config
         procedures = procedures_for_mode(self.mode)
+        net_report: BeginRoundReport | None = None
+        if self.net is not None:
+            # Heal/churn reconciliation happens *before* Procedure I reads
+            # the global parameters, so a round that follows a partition
+            # trains against the post-reorg canonical view.
+            net_report = self.net.begin_round(round_index, sim_time=self.clock.now)
+            if net_report.reorged:
+                self._reconcile_rewards()
         ctx = RoundContext(
             round_index=round_index,
             global_parameters=self.current_global_parameters(),
@@ -383,52 +516,72 @@ class FairBFLTrainer(CheckpointMixin):
 
         if Procedure.UPLOAD in procedures:
             procedure_upload(ctx, self.miners, self.keystore, self._upload_rng)
-        if Procedure.EXCHANGE in procedures:
-            procedure_exchange(ctx, self.miners)
-        elif Procedure.UPLOAD in procedures:
-            # FL-only mode: no miner exchange, but the (single logical server)
-            # still needs the stacked gradient matrix from the first miner.
-            procedure_exchange(ctx, self.miners[:1])
-        if Procedure.GLOBAL_UPDATE in procedures:
-            procedure_global_update(
-                ctx,
-                contribution_config=cfg.contribution,
-                strategy=self.strategy,
-                use_fair_aggregation=cfg.use_fair_aggregation,
-                run_incentive=self.mode is not OperatingMode.FL_ONLY,
-                defense=self.defense,
+        lost_uploads = 0
+        if self.net is not None and net_report is not None:
+            lost_uploads = self.net.absorb_uploads(
+                ctx.transactions, ctx.client_to_miner, net_report.state
             )
-        if cfg.round_mode == "async":
-            # Late arrivals from earlier rounds join this aggregate with
-            # staleness-decayed weights; this round's own stragglers are
-            # buffered for the next one.  Extending (not replacing) keeps
-            # entries alive across rounds that cannot aggregate, so an update
-            # can accrue staleness > 1 before it is finally folded in.
-            self._apply_stale_updates(ctx, round_index)
-            self._stale_buffer.extend(
-                (np.asarray(u.parameters, dtype=np.float64).copy(), round_index)
-                for u in late_updates
+        broadcast_latency = 0.0
+        resolved: dict[int, float] = {}
+        if self.net is not None and net_report is not None:
+            # The gossip-substrate path: Procedures III-V run once per
+            # reachability component on that component's own chain views.
+            # (Config validation restricts this path to sync BFL/chain-only
+            # modes, so the async/fl_only branches below cannot apply.)
+            resolved.update(net_report.resolved)
+            broadcast_latency = self._run_net_procedures(ctx, net_report, procedures)
+            resolved.update(
+                self.net.finish_round(
+                    round_index, sim_time=self.clock.now, latency=broadcast_latency
+                )
             )
-        if Procedure.MINING in procedures and ctx.new_global_parameters is None:
-            # Chain-only mode skips Procedure IV; the block still records the
-            # (unchanged) global parameters so the ledger keeps one block per
-            # round, exactly as the functional-scaling analysis assumes.
-            ctx.new_global_parameters = np.asarray(
-                ctx.global_parameters, dtype=np.float64
-            ).copy()
-        if Procedure.MINING in procedures and ctx.new_global_parameters is not None:
-            procedure_mining(
-                ctx,
-                self.miners,
-                self.keystore,
-                self._mining_rng,
-                use_real_pow=cfg.use_real_pow,
-                pow_difficulty=cfg.pow_difficulty,
-                timestamp=self.clock.now,
-            )
-        elif ctx.new_global_parameters is not None:
-            # FL-only mode: keep the global model off-chain on the trainer.
-            set_flat_parameters(self.global_model, ctx.new_global_parameters)
+        else:
+            if Procedure.EXCHANGE in procedures:
+                procedure_exchange(ctx, self.miners)
+            elif Procedure.UPLOAD in procedures:
+                # FL-only mode: no miner exchange, but the (single logical server)
+                # still needs the stacked gradient matrix from the first miner.
+                procedure_exchange(ctx, self.miners[:1])
+            if Procedure.GLOBAL_UPDATE in procedures:
+                procedure_global_update(
+                    ctx,
+                    contribution_config=cfg.contribution,
+                    strategy=self.strategy,
+                    use_fair_aggregation=cfg.use_fair_aggregation,
+                    run_incentive=self.mode is not OperatingMode.FL_ONLY,
+                    defense=self.defense,
+                )
+            if cfg.round_mode == "async":
+                # Late arrivals from earlier rounds join this aggregate with
+                # staleness-decayed weights; this round's own stragglers are
+                # buffered for the next one.  Extending (not replacing) keeps
+                # entries alive across rounds that cannot aggregate, so an update
+                # can accrue staleness > 1 before it is finally folded in.
+                self._apply_stale_updates(ctx, round_index)
+                self._stale_buffer.extend(
+                    (np.asarray(u.parameters, dtype=np.float64).copy(), round_index)
+                    for u in late_updates
+                )
+            if Procedure.MINING in procedures and ctx.new_global_parameters is None:
+                # Chain-only mode skips Procedure IV; the block still records the
+                # (unchanged) global parameters so the ledger keeps one block per
+                # round, exactly as the functional-scaling analysis assumes.
+                ctx.new_global_parameters = np.asarray(
+                    ctx.global_parameters, dtype=np.float64
+                ).copy()
+            if Procedure.MINING in procedures and ctx.new_global_parameters is not None:
+                procedure_mining(
+                    ctx,
+                    self.miners,
+                    self.keystore,
+                    self._mining_rng,
+                    use_real_pow=cfg.use_real_pow,
+                    pow_difficulty=cfg.pow_difficulty,
+                    timestamp=self.clock.now,
+                )
+            elif ctx.new_global_parameters is not None:
+                # FL-only mode: keep the global model off-chain on the trainer.
+                set_flat_parameters(self.global_model, ctx.new_global_parameters)
 
         # -- incentive bookkeeping ------------------------------------------------
         discarded: list[int] = []
@@ -488,6 +641,20 @@ class FairBFLTrainer(CheckpointMixin):
                 "event_trace_digest": timing.trace_digest,
             },
         )
+        if self.net is not None and net_report is not None:
+            # One nested key keeps the global-path extras byte-identical.
+            record.extras["net"] = {
+                "topology": cfg.topology,
+                "online": list(net_report.state.online),
+                "components": [list(c) for c in net_report.state.components],
+                "partition_active": net_report.state.partition_active,
+                "reorged": net_report.reorged,
+                "total_reorgs": self.net.total_reorgs,
+                "chain_views": self.net.chain_views(),
+                "lost_uploads": lost_uploads,
+                "broadcast_latency": broadcast_latency,
+                "consensus_resolved": {int(r): float(d) for r, d in resolved.items()},
+            }
         self.history.append(record)
         return record
 

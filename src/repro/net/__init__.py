@@ -1,0 +1,49 @@
+"""Peer-to-peer network substrate: per-node chain views over gossip.
+
+This package turns the committee from a lock-step replicated ledger into a
+small peer-to-peer network.  Each miner becomes a :class:`~repro.net.node.Node`
+with its own peer set, mempool, and chain view; blocks spread by seeded
+flooding gossip over a configurable :mod:`topology <repro.net.topology>`;
+timed partitions and churn traces (:mod:`repro.net.schedule`) fracture the
+network into reachability components that mine divergent forks; and the
+:class:`~repro.net.substrate.GossipSubstrate` reconciles them with the
+deterministic fork-choice rule when connectivity returns.
+
+The ``topology="global"`` axis value is the migration sentinel: it builds no
+substrate and keeps the legacy single-network trainer path bit-identical.
+"""
+
+from repro.net.gossip import GossipNetwork, GossipOutcome
+from repro.net.node import Node
+from repro.net.schedule import (
+    ChurnEvent,
+    NetSchedule,
+    PartitionWindow,
+    parse_churn,
+    parse_partition,
+)
+from repro.net.substrate import BeginRoundReport, GossipSubstrate, NetRoundState
+from repro.net.topology import (
+    TOPOLOGIES,
+    build_peer_sets,
+    connected_components,
+    is_connected,
+)
+
+__all__ = [
+    "TOPOLOGIES",
+    "BeginRoundReport",
+    "ChurnEvent",
+    "GossipNetwork",
+    "GossipOutcome",
+    "GossipSubstrate",
+    "NetRoundState",
+    "NetSchedule",
+    "Node",
+    "PartitionWindow",
+    "build_peer_sets",
+    "connected_components",
+    "is_connected",
+    "parse_churn",
+    "parse_partition",
+]

@@ -39,6 +39,7 @@ from repro.fl.robust import check_defense
 from repro.fl.fedavg import FedAvgConfig
 from repro.fl.fedprox import FedProxConfig
 from repro.incentive.contribution import ContributionConfig
+from repro.net.topology import TOPOLOGIES
 from repro.runner.executor import EXECUTOR_BACKENDS
 from repro.sim.rounds import ROUND_MODES
 from repro.sim.vanilla_blockchain import VanillaBlockchainConfig
@@ -117,6 +118,11 @@ class ScenarioSpec:
     verify_signatures: bool = True
     use_real_pow: bool = True
     pow_difficulty: float = 16.0
+    # -- network substrate (see repro.net) ------------------------------
+    topology: str = "global"
+    peer_k: int = 2
+    partition: str = "none"
+    churn: str = "none"
     # -- incentive ------------------------------------------------------
     strategy: str = "keep"
     use_fair_aggregation: bool = True
@@ -267,6 +273,21 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"low_quality_fraction must be in [0, 1], got {self.low_quality_fraction}"
             )
+        # Checked here (not only via FairBFLConfig) so every system rejects a
+        # misspelt topology, and the non-net systems reject the net axes with
+        # a clean message before the capability check fires.
+        if self.topology not in TOPOLOGIES:
+            raise ScenarioError(
+                f"unknown topology {self.topology!r}; expected one of: "
+                + ", ".join(TOPOLOGIES)
+            )
+        if self.topology == "global":
+            for axis in ("partition", "churn"):
+                if (getattr(self, axis) or "none") != "none":
+                    raise ScenarioError(
+                        f"{axis}={getattr(self, axis)!r} requires a non-'global' "
+                        "topology (the single-network path cannot split)"
+                    )
         # Capability-derived applicability: engaging round_mode/attacks/defense
         # on a system whose registration does not support the axis fails here.
         try:
@@ -330,6 +351,10 @@ class ScenarioSpec:
             verify_signatures=self.verify_signatures,
             use_real_pow=self.use_real_pow,
             pow_difficulty=self.pow_difficulty,
+            topology=self.topology,
+            peer_k=self.peer_k,
+            partition=self.partition,
+            churn=self.churn,
             executor_backend=self.backend,
             executor_workers=self.max_workers,
             seed=self.seed,

@@ -25,6 +25,7 @@ reference and dedup semantics.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import threading
 from collections import OrderedDict
@@ -32,6 +33,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.runner.engine import ExperimentEngine
+from repro.systems.registry import (
+    SystemCapabilities,
+    capability_fingerprint,
+    get_system,
+    system_names,
+)
 from repro.serve.jobs import JobQueue
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -217,8 +224,23 @@ class ReproServer:
 
     def handle_healthz(self) -> tuple[int, dict]:
         counts = self.queue.counts()
+        # The registered-system roster with capability fingerprints: a thin
+        # client can check, before submitting, that the server runs the same
+        # system implementations it validated against (a fingerprint drift
+        # means cached results over there would not match local recomputes).
+        systems = {
+            name: {
+                "fingerprint": capability_fingerprint(name),
+                "capabilities": {
+                    f.name: getattr(get_system(name).capabilities, f.name)
+                    for f in dataclasses.fields(SystemCapabilities)
+                },
+            }
+            for name in system_names()
+        }
         return 200, {
             "status": "ok",
+            "systems": systems,
             "protocol_version": PROTOCOL_VERSION,
             "queue_depth": self.queue.depth(),
             "jobs": counts,

@@ -11,15 +11,21 @@ the registrations.
 
 Capability summary:
 
-============== ============== =========== ======= ======== ======
-system         needs_dataset  round_modes attacks defenses cohort
-============== ============== =========== ======= ======== ======
-fairbfl        yes            yes         yes     yes      yes
-fairbfl-discard yes           yes         yes     yes      yes
-fedavg         yes            no          no      yes      yes
-fedprox        yes            no          no      yes      yes
-blockchain     no             no          no      no       no
-============== ============== =========== ======= ======== ======
+============== ============== =========== ======= ======== ====== ===
+system         needs_dataset  round_modes attacks defenses cohort net
+============== ============== =========== ======= ======== ====== ===
+fairbfl        yes            yes         yes     yes      yes    yes
+fairbfl-discard yes           yes         yes     yes      yes    yes
+fedavg         yes            no          no      yes      yes    no
+fedprox        yes            no          no      yes      yes    no
+blockchain     no             no          no      no       no     no
+============== ============== =========== ======= ======== ====== ===
+
+The ``net`` capability (``topology``/``peer_k``/``partition``/``churn``) is
+FAIR-BFL-only: the gossip substrate needs per-miner chain views to diverge
+and reconcile, while the vanilla blockchain baseline models fork costs with
+aggregate per-round statistics (:mod:`repro.sim.vanilla_blockchain`) instead
+of per-node state.
 """
 
 from __future__ import annotations
@@ -50,7 +56,12 @@ class FairBFLSystem(System):
     name = "fairbfl"
     description = "FAIR-BFL with the keep strategy (Algorithm 1 + Algorithm 2 incentives)"
     capabilities = SystemCapabilities(
-        needs_dataset=True, round_modes=True, attacks=True, defenses=True, cohort=True
+        needs_dataset=True,
+        round_modes=True,
+        attacks=True,
+        defenses=True,
+        cohort=True,
+        net=True,
     )
 
     def build_config(self, spec):

@@ -93,6 +93,13 @@ class SystemCapabilities:
         ``backend="thread"``/``"process"`` stay valid for every system (a
         system that ignores the executor simply ignores them), only
         ``backend="cohort"`` requires the capability.
+    net:
+        Whether the system runs on the per-node gossip substrate
+        (:mod:`repro.net`): ``topology`` values other than ``"global"`` plus
+        the ``peer_k``/``partition``/``churn`` axes.  Only blockchain-backed
+        systems can — the substrate needs per-miner chain views to diverge
+        and reconcile.  Like cohort, the axis is engaged by value:
+        ``topology="global"`` stays valid everywhere.
     """
 
     needs_dataset: bool = True
@@ -100,6 +107,7 @@ class SystemCapabilities:
     attacks: bool = False
     defenses: bool = False
     cohort: bool = False
+    net: bool = False
 
 
 #: Scenario fields owned by each capability axis.  The guard defaults are
@@ -111,12 +119,14 @@ _AXIS_FIELDS: dict[str, tuple[str, ...]] = {
     "attacks": ("attacks", "attack_name", "min_attackers", "max_attackers"),
     "defenses": ("defense", "defense_fraction"),
     "cohort": ("backend",),
+    "net": ("topology", "peer_k", "partition", "churn"),
 }
 _AXIS_GUARDS: dict[str, tuple[str, object]] = {
     "round_modes": ("round_mode", "sync"),
     "attacks": ("attacks", False),
     "defenses": ("defense", "none"),
     "cohort": ("backend", "serial"),
+    "net": ("topology", "global"),
 }
 
 
@@ -125,10 +135,13 @@ def _axis_engaged(axis: str, value: object, default: object) -> bool:
 
     The cohort axis is engaged only by the literal ``"cohort"`` backend —
     ``thread``/``process`` are valid for every system (those that ignore the
-    executor simply ignore them), so they must not trip the check.
+    executor simply ignore them), so they must not trip the check.  The net
+    axis mirrors it: only a non-``"global"`` topology engages the substrate.
     """
     if axis == "cohort":
         return value == "cohort"
+    if axis == "net":
+        return value != "global"
     return value != default
 
 
@@ -398,6 +411,8 @@ def filter_unsupported_axes(system: System | str, mapping: Mapping[str, object])
             continue
         if axis == "cohort" and out.get("backend") != "cohort":
             continue  # thread/process are valid everywhere; only "cohort" engages
+        if axis == "net" and out.get("topology", "global") == "global":
+            continue  # topology="global" is valid everywhere; nothing engaged
         for field_name in axis_fields:
             out.pop(field_name, None)
     return out

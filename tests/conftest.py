@@ -31,6 +31,12 @@ def pytest_configure(config) -> None:
         "serve: end-to-end tests that boot the HTTP experiment service "
         "(job queue, worker pool, fault injection)",
     )
+    config.addinivalue_line(
+        "markers",
+        "net: gossip-substrate tests (topologies, partitions, churn, "
+        "fork choice, reorg convergence) — `pytest -m net` runs just the "
+        "network layer",
+    )
 
 
 @pytest.fixture(scope="session")

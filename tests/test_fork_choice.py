@@ -1,0 +1,240 @@
+"""Fork choice, reorg validation edges, and mempool eviction.
+
+Satellite coverage for the gossip-substrate PR: the seeded hash tie-break
+that resolves equal-length forks identically on every node, the
+``Blockchain.reorg_to`` validation edges (duplicate insertion, orphan
+ordering, Merkle tampering on a reorged candidate), and the mempool's two
+eviction paths (chain-included and round-expired transactions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain, BlockValidationError, ForkChoice
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.transaction import make_gradient_transaction
+from repro.net import Node
+
+pytestmark = pytest.mark.net
+
+
+def _chain(rounds=0, miner_id="m", transactions_for=None):
+    chain = Blockchain(enforce_pow=False)
+    chain.add_genesis(Block.genesis())
+    for r in range(rounds):
+        txs = transactions_for(r) if transactions_for else []
+        chain.add_block(
+            Block.create(
+                index=r + 1,
+                previous_hash=chain.last_block.block_hash,
+                round_index=r,
+                miner_id=miner_id,
+                transactions=txs,
+            )
+        )
+    return chain
+
+
+def _tx(client=0, round_index=0, value=1.0):
+    return make_gradient_transaction(
+        f"client-{client}", round_index, np.full(3, value)
+    )
+
+
+class TestForkChoice:
+    def test_tie_break_deterministic_and_salt_sensitive(self):
+        rule = ForkChoice(salt=7)
+        digest = rule.tie_break("ab" * 32)
+        assert digest == ForkChoice(salt=7).tie_break("ab" * 32)
+        assert digest != ForkChoice(salt=8).tie_break("ab" * 32)
+        assert digest != rule.tie_break("cd" * 32)
+
+    def test_longer_chain_always_wins(self):
+        rule = ForkChoice(salt=0)
+        short, long = _chain(1, "a"), _chain(3, "b")
+        assert rule.prefer(short, long)
+        assert not rule.prefer(long, short)
+
+    def test_equal_length_resolved_by_salted_digest(self):
+        rule = ForkChoice(salt=0)
+        a, b = _chain(2, "a"), _chain(2, "b")
+        assert a.last_block.block_hash != b.last_block.block_hash
+        forward = rule.prefer(a, b)
+        backward = rule.prefer(b, a)
+        # Exactly one direction prefers: the rule is a strict order on tips.
+        assert forward != backward
+        winner, loser = (b, a) if forward else (a, b)
+        assert rule.tie_break(winner.last_block.block_hash) < rule.tie_break(
+            loser.last_block.block_hash
+        )
+
+    def test_identical_tips_never_prefer(self):
+        rule = ForkChoice(salt=0)
+        a = _chain(2, "a")
+        b = Blockchain(enforce_pow=False)
+        b.blocks = list(a.blocks)
+        assert not rule.prefer(a, b)
+
+    def test_empty_chains(self):
+        rule = ForkChoice(salt=0)
+        empty, real = Blockchain(enforce_pow=False), _chain(1)
+        assert rule.prefer(empty, real)
+        assert not rule.prefer(real, empty)
+        assert not rule.prefer(empty, Blockchain(enforce_pow=False))
+
+    def test_best_picks_same_winner_in_any_order(self):
+        rule = ForkChoice(salt=3)
+        chains = [_chain(2, mid) for mid in ("a", "b", "c", "d")]
+        winner = rule.best(chains)
+        assert rule.best(reversed(chains)) is winner
+        for chain in chains:
+            if chain is not winner:
+                assert rule.prefer(chain, winner)
+
+    def test_best_requires_candidates(self):
+        with pytest.raises(ValueError, match="at least one candidate"):
+            ForkChoice(salt=0).best([])
+
+    def test_every_node_picks_the_same_equal_length_winner(self):
+        # The substrate-level guarantee in miniature: nodes starting from
+        # different views of an equal-length fork all adopt one tip.
+        rule = ForkChoice(salt=11)
+        fork_a, fork_b = _chain(2, "a"), _chain(2, "b")
+        heads = set()
+        for view in (fork_a, fork_b):
+            best = rule.best([fork_a, fork_b])
+            node = Node(node_id="n", chain=view.copy())
+            node.sync_with(Node(node_id="peer", chain=best), rule)
+            heads.add(node.head_hash)
+        assert len(heads) == 1
+
+
+class TestReorgEdges:
+    def test_reorg_counts_rolled_back_and_applied(self):
+        ours = _chain(2, "a")
+        theirs = _chain(3, "b")
+        rolled_back, applied = ours.reorg_to(list(theirs.blocks))
+        assert (rolled_back, applied) == (2, 3)
+        assert ours.fork_events == 1
+        assert ours.last_block.block_hash == theirs.last_block.block_hash
+
+    def test_reorg_pure_extension_is_not_a_fork_event(self):
+        ours = _chain(1, "a")
+        extended = Blockchain(enforce_pow=False)
+        extended.blocks = list(ours.blocks)
+        extended.add_block(
+            Block.create(
+                index=2,
+                previous_hash=extended.last_block.block_hash,
+                round_index=1,
+                miner_id="a",
+                transactions=[],
+            )
+        )
+        rolled_back, applied = ours.reorg_to(list(extended.blocks))
+        assert (rolled_back, applied) == (0, 1)
+        assert ours.fork_events == 0
+
+    def test_reorg_rejects_empty_candidate(self):
+        with pytest.raises(BlockValidationError, match="empty chain"):
+            _chain(1).reorg_to([])
+
+    def test_reorg_rejects_different_genesis(self):
+        ours = _chain(1, "a")
+        other = Blockchain(enforce_pow=False)
+        other.add_genesis(Block.genesis(initial_global_update=_tx()))
+        with pytest.raises(BlockValidationError, match="different genesis"):
+            ours.reorg_to(list(other.blocks))
+
+    def test_reorg_rejects_merkle_tampered_candidate(self):
+        # The candidate fork carries a block whose transactions were swapped
+        # after mining: full validation must catch the Merkle mismatch
+        # *before* the local view is discarded.
+        ours = _chain(1, "a")
+        theirs = _chain(3, "b", transactions_for=lambda r: [_tx(client=r, round_index=r)])
+        theirs.blocks[2].transactions[0] = _tx(client=9, round_index=1, value=99.0)
+        height_before = ours.height
+        with pytest.raises(BlockValidationError, match="Merkle"):
+            ours.reorg_to(list(theirs.blocks))
+        assert ours.height == height_before  # nothing was discarded
+
+    def test_reorg_rejects_broken_link(self):
+        ours = _chain(1, "a")
+        theirs = _chain(3, "b")
+        tampered = list(theirs.blocks)
+        del tampered[2]  # hole in the chain
+        with pytest.raises(BlockValidationError):
+            ours.reorg_to(tampered)
+
+    def test_duplicate_block_insertion_rejected(self):
+        chain = _chain(2, "a")
+        with pytest.raises(BlockValidationError, match="index"):
+            chain.add_block(chain.blocks[-1])
+        assert Node(node_id="n", chain=chain).receive_block(chain.blocks[-1]) == "duplicate"
+
+    def test_orphan_block_before_parent(self):
+        donor = _chain(3, "b")
+        node = Node(node_id="n", chain=_chain(0))
+        grandchild, child, parent = donor.blocks[3], donor.blocks[2], donor.blocks[1]
+        assert node.receive_block(grandchild) == "orphaned"
+        assert node.receive_block(child) == "orphaned"
+        assert node.chain.height == 1
+        # The missing parent arrives: both orphans cascade in order.
+        assert node.receive_block(parent) == "appended"
+        assert node.chain.height == 4
+        assert node.orphans == {}
+        assert node.chain.is_valid()
+
+
+class TestMempoolEviction:
+    def _pool(self):
+        return Mempool(block_size_bytes=1 << 20)
+
+    def test_evict_included_from_chain(self):
+        pool = self._pool()
+        settled, pending = _tx(client=0), _tx(client=1)
+        pool.submit(settled)
+        pool.submit(pending)
+        chain = _chain(1, transactions_for=lambda r: [settled])
+        assert pool.evict_included(chain) == 1
+        assert pool.pending_count == 1
+        assert [tx.tx_id for tx in pool.take_block()] == [pending.tx_id]
+
+    def test_evict_included_from_id_iterable(self):
+        pool = self._pool()
+        a, b = _tx(client=0), _tx(client=1)
+        pool.submit(a)
+        pool.submit(b)
+        assert pool.evict_included([a.tx_id]) == 1
+        assert pool.pending_count == 1
+
+    def test_evict_older_than_expires_stale_rounds(self):
+        pool = self._pool()
+        old = _tx(client=0, round_index=0)
+        fresh = _tx(client=1, round_index=2)
+        pool.submit(old)
+        pool.submit(fresh)
+        assert pool.evict_older_than(2) == 1
+        assert pool.pending_count == 1
+        assert pool.evict_older_than(2) == 0  # round-2 tx survives its own round
+
+    def test_eviction_restores_bookkeeping(self):
+        pool = self._pool()
+        tx = _tx(client=0)
+        pool.submit(tx)
+        bytes_before = pool.pending_bytes
+        assert bytes_before > 0
+        assert pool.evict_included([tx.tx_id]) == 1
+        assert pool.pending_bytes == 0
+        # The id was released: the same tx may be resubmitted (a reorg can
+        # return a discarded fork's transactions to circulation).
+        assert pool.submit(tx)
+        assert pool.pending_bytes == bytes_before
+
+    def test_evict_on_empty_pool(self):
+        pool = self._pool()
+        assert pool.evict_included([]) == 0
+        assert pool.evict_older_than(5) == 0

@@ -33,7 +33,12 @@ Fails (exit code 1) when the documentation has drifted from the code:
 11. an HTTP endpoint declared in ``repro.serve.protocol.ENDPOINTS`` is
     missing from the service reference ``docs/serve.md`` — the endpoint
     table is imported from the code, so adding a route without documenting
-    its method and path fails this check.
+    its method and path fails this check;
+12. a network-substrate axis value (a topology from ``repro.net.TOPOLOGIES``,
+    or the ``partition`` / ``churn`` axis names) is missing from
+    ``docs/scenarios.md`` or ``docs/threat_model.md`` — the gossip layer's
+    scenario axes must stay catalogued in both the field reference and the
+    threat guide.
 
 Run from the repository root:
 
@@ -316,6 +321,34 @@ def check_serve_endpoint_docs() -> list[str]:
     return problems
 
 
+def check_net_axis_coverage() -> list[str]:
+    """Every network-substrate axis value must appear in the axis docs.
+
+    The topology list comes from ``repro.net.TOPOLOGIES`` and the
+    ``partition`` / ``churn`` axis names are checked literally, so a new
+    topology (or a renamed axis) cannot land without a mention in both the
+    scenario reference and the threat-model guide.
+    """
+    _ensure_importable()
+    from repro.net import TOPOLOGIES
+
+    required_docs = ("docs/scenarios.md", "docs/threat_model.md")
+    problems = []
+    for rel in required_docs:
+        path = REPO_ROOT / rel
+        if not path.exists():
+            problems.append(f"{rel}: net-axis reference document is missing")
+            continue
+        text = path.read_text(encoding="utf-8")
+        for value in TOPOLOGIES:
+            if not re.search(rf"\b{re.escape(value)}\b", text):
+                problems.append(f"{rel} does not document topology value {value!r}")
+        for axis in ("partition", "churn"):
+            if not re.search(rf"`{axis}`", text):
+                problems.append(f"{rel} does not document net axis {axis!r}")
+    return problems
+
+
 def main() -> int:
     problems = (
         check_module_docstrings()
@@ -329,6 +362,7 @@ def main() -> int:
         + check_api_reference()
         + check_cli_subcommand_docs()
         + check_serve_endpoint_docs()
+        + check_net_axis_coverage()
     )
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
